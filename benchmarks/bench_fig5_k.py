@@ -1,0 +1,33 @@
+"""Bench for Figure 5: impact of K.
+
+Sweeps K over the paper's values on two videos and asserts the shape:
+high precision throughout and broadly similar speedups, with small K
+never slower than large K by a wide margin.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5
+from repro.experiments.runner import counting_videos
+
+from conftest import run_once
+
+
+def test_fig5_impact_of_k(bench_scale, benchmark):
+    videos = counting_videos(bench_scale)[:2]
+    records = run_once(
+        benchmark, fig5.run, bench_scale,
+        ks=(5, 25, 50, 100), videos=videos)
+    print()
+    print(fig5.render(records))
+
+    assert len(records) == 8
+    for record in records:
+        assert record.extras["confidence"] >= 0.9
+        assert record.metrics.precision >= 0.7, \
+            f"{record.video} K={record.k}"
+
+    for video in {r.video for r in records}:
+        speeds = {r.k: r.speedup for r in records if r.video == video}
+        # Small K tends to stop earlier (higher threshold scores).
+        assert speeds[5] >= 0.7 * speeds[100]

@@ -1,0 +1,36 @@
+"""Bench for Figure 6: impact of the confidence threshold.
+
+The paper's key observation: once past 0.5, raising thres to 0.99
+costs almost nothing because confidence grows exponentially with the
+number of cleaned frames. We assert the cleaned-frame count grows by
+far less than the threshold tightening would naively suggest.
+"""
+
+from repro.experiments import fig6
+from repro.experiments.runner import counting_videos
+
+from conftest import run_once
+
+
+def test_fig6_impact_of_thres(bench_scale, benchmark):
+    videos = counting_videos(bench_scale)[:2]
+    records = run_once(
+        benchmark, fig6.run, bench_scale,
+        thresholds=(0.5, 0.9, 0.99), videos=videos)
+    print()
+    print(fig6.render(records))
+
+    for video in {r.video for r in records}:
+        rows = {r.thres: r for r in records if r.video == video}
+        cleaned_05 = rows[0.5].extras["cleaned"]
+        cleaned_99 = rows[0.99].extras["cleaned"]
+        assert cleaned_99 >= cleaned_05
+        # Exponential convergence: 49 more percentage points of
+        # confidence must cost well under an order of magnitude more
+        # cleaning (the paper reports ~1% extra iterations at full
+        # video length).
+        assert cleaned_99 <= 4.0 * max(cleaned_05, 1)
+        # Speedups stay in the same ballpark.
+        assert rows[0.99].speedup >= 0.5 * rows[0.5].speedup
+        for record in rows.values():
+            assert record.metrics.precision >= 0.8

@@ -1,0 +1,32 @@
+"""Bench for Figure 7: Top-K window queries across window sizes.
+
+Asserts the paper's shape: window queries stay accurate, and speedup
+does not *increase* with window size (larger windows mean fewer
+choices and more frames confirmed per cleaning).
+"""
+
+from repro.experiments import fig7
+from repro.experiments.runner import counting_videos
+
+from conftest import run_once
+
+
+def test_fig7_windows(bench_scale, benchmark):
+    videos = counting_videos(bench_scale)[:2]
+    records = run_once(
+        benchmark, fig7.run, bench_scale,
+        window_sizes=(1, 10, 30), k=20, videos=videos)
+    print()
+    print(fig7.render(records))
+
+    assert records, "at least one window configuration must fit"
+    for record in records:
+        assert record.extras["confidence"] >= 0.9
+        assert record.metrics.precision >= 0.6, \
+            f"{record.video} w={record.window_size}"
+
+    for video in {r.video for r in records}:
+        rows = {r.window_size or 1: r for r in records
+                if r.video == video}
+        if 1 in rows and 30 in rows:
+            assert rows[30].speedup <= 1.5 * rows[1].speedup

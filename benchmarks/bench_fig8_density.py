@@ -1,0 +1,26 @@
+"""Bench for Figure 8: object density sweep on Visual-Road-style videos.
+
+Asserts the paper's finding: Everest's speedup and precision are not
+materially affected by the number of objects in the scene.
+"""
+
+import numpy as np
+
+from repro.experiments import fig8
+
+from conftest import run_once
+
+
+def test_fig8_density(bench_scale, benchmark):
+    records = run_once(
+        benchmark, fig8.run, bench_scale, densities=(50, 150, 250))
+    print()
+    print(fig8.render(records))
+
+    assert len(records) == 3
+    speedups = [r.speedup for r in records]
+    for record in records:
+        assert record.extras["confidence"] >= 0.9
+        assert record.metrics.precision >= 0.8, record.video
+    # Flat-ish speedup across densities: max within 3x of min.
+    assert max(speedups) <= 3.0 * min(speedups)

@@ -1,0 +1,21 @@
+"""Bench for Figure 9: the depth-estimator (tailgating) scoring UDF.
+
+Runs the paper's four scenarios on both dashcam videos and asserts
+high precision with a material speedup in each.
+"""
+
+from repro.experiments import fig9
+
+from conftest import run_once
+
+
+def test_fig9_udf(bench_scale, benchmark):
+    records = run_once(benchmark, fig9.run, bench_scale)
+    print()
+    print(fig9.render(records))
+
+    assert len(records) >= 4  # 2 videos x at least 2 feasible scenarios
+    for record in records:
+        assert record.extras["confidence"] >= record.thres - 1e-9
+        assert record.metrics.precision >= 0.75, record.extras["scenario"]
+        assert record.speedup > 2.0

@@ -1,0 +1,134 @@
+"""Micro-benchmarks and ablations of the core kernels.
+
+These time the pieces Table 8 claims are negligible (Topk-prob,
+Select-candidate) and quantify the design choices DESIGN.md calls out:
+
+* incremental Eq. 3 confidence vs naive Eq. 2 recomputation;
+* upper-bound early stopping vs exhaustive argmax E[X_f];
+* difference-detector and CMDN inference throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SelectCandidateConfig
+from repro.core.select_candidate import CandidateSelector
+from repro.core.topk_prob import ConfidenceState
+from repro.core.uncertain import QuantizationGrid, UncertainRelation
+from repro.models import FeatureMDNProxy, extract_features
+from repro.video import DifferenceDetector, TrafficVideo
+
+
+def build_relation(num_tuples=20_000, levels=16, certain=60, seed=0):
+    rng = np.random.default_rng(seed)
+    # Realistic shape: most frames concentrated at low scores.
+    mus = rng.gamma(2.0, 1.2, size=num_tuples)
+    pmf = np.zeros((num_tuples, levels))
+    grid_scores = np.arange(levels)
+    for start in range(0, num_tuples, 4_096):
+        chunk = slice(start, min(start + 4_096, num_tuples))
+        z = (grid_scores[None, :] - mus[chunk, None]) / 1.0
+        w = np.exp(-0.5 * z * z)
+        w[np.abs(z) > 3.0] = 0.0
+        pmf[chunk] = w / w.sum(axis=1, keepdims=True)
+    grid = QuantizationGrid(floor=0.0, step=1.0, num_levels=levels)
+    relation = UncertainRelation(np.arange(num_tuples), pmf, grid)
+    top = np.argsort(-mus)[:certain]
+    for position in top:
+        relation.mark_certain(int(position), float(round(mus[position])))
+    return relation
+
+
+@pytest.fixture(scope="module")
+def big_relation():
+    return build_relation()
+
+
+def test_topk_prob_incremental(benchmark, big_relation):
+    """Eq. 3: O(1) confidence after O(L) updates."""
+    state = ConfidenceState(big_relation)
+
+    def run():
+        return state.topk_prob(10)
+
+    value = benchmark(run)
+    assert 0.0 <= value <= 1.0
+
+
+def test_topk_prob_naive_recompute(benchmark, big_relation):
+    """Ablation: recomputing Eq. 2 from scratch per iteration."""
+    state = ConfidenceState(big_relation)
+
+    def run():
+        return state.topk_prob_direct(10)
+
+    value = benchmark(run)
+    assert 0.0 <= value <= 1.0
+
+
+def test_select_candidate_early_stopping(benchmark, big_relation):
+    relation = big_relation.copy()
+    state = ConfidenceState(relation)
+    selector = CandidateSelector(
+        relation, state, SelectCandidateConfig(use_upper_bound=True))
+
+    def run():
+        return selector.select(0, 10, 11, batch_size=8)
+
+    picked = benchmark(run)
+    assert picked.size == 8
+    # The whole point: only a small fraction of frames is examined.
+    assert selector.stats.examine_fraction < 0.5
+
+
+def test_select_candidate_exhaustive(benchmark, big_relation):
+    """Ablation: computing E[X_f] for every uncertain frame."""
+    relation = big_relation.copy()
+    state = ConfidenceState(relation)
+    selector = CandidateSelector(
+        relation, state, SelectCandidateConfig(use_upper_bound=False))
+
+    def run():
+        return selector.select(0, 10, 11, batch_size=8)
+
+    picked = benchmark(run)
+    assert picked.size == 8
+
+
+def test_diff_detector_throughput(benchmark):
+    video = TrafficVideo("bench-diff", 3_000, seed=1)
+
+    def run():
+        return DifferenceDetector().run(video)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.num_frames == 3_000
+
+
+def test_feature_extraction_throughput(benchmark):
+    video = TrafficVideo("bench-feat", 512, seed=2)
+    pixels = video.batch_pixels(np.arange(512))
+
+    def run():
+        return extract_features(pixels)
+
+    features = benchmark(run)
+    assert features.shape[0] == 512
+
+
+def test_mdn_inference_throughput(benchmark, trained_bench_proxy=None):
+    video = TrafficVideo("bench-mdn", 2_000, seed=3)
+    rng = np.random.default_rng(0)
+    idx = rng.choice(2_000, 200, replace=False)
+    proxy = FeatureMDNProxy(num_gaussians=4, num_hypotheses=16, seed=0)
+    from repro.models import train_network
+    train_network(
+        proxy, video.batch_pixels(idx), video.counts[idx],
+        epochs=5, batch_size=64, learning_rate=2e-3)
+    pixels = video.batch_pixels(np.arange(1_000))
+
+    def run():
+        return proxy.predict_mixtures(pixels)
+
+    mix = benchmark(run)
+    assert mix.pi.shape[0] == 1_000

@@ -1,0 +1,29 @@
+"""Bench for Table 7: dataset registry construction and rendering.
+
+Regenerates the dataset-characteristics table and times synthetic
+video construction + frame rendering throughput.
+"""
+
+import numpy as np
+
+from repro.experiments import table7
+from repro.video import build_dataset
+
+from conftest import run_once
+
+
+def test_table7_output(bench_scale, benchmark, capsys):
+    output = run_once(benchmark, table7.main, bench_scale)
+    assert "taipei-bus" in output
+    assert "dashcam-greenport" in output
+
+
+def test_video_render_throughput(benchmark):
+    video = build_dataset("archie", min_frames=2_000)
+    indices = np.arange(0, 1_000)
+
+    def render():
+        return video.batch_pixels(indices)
+
+    pixels = benchmark(render)
+    assert pixels.shape == (1_000, 24, 24)

@@ -1,0 +1,26 @@
+"""Benchmark-suite fixtures.
+
+Benchmarks run the same experiment harness as EXPERIMENTS.md but at
+``ExperimentScale.bench()`` (shorter videos, trimmed lambda grids) so
+the whole suite finishes in minutes. Each bench prints the paper-style
+table it regenerates; ``pytest-benchmark`` times a single full run via
+``benchmark.pedantic(rounds=1)`` because the workloads are macro-scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return ExperimentScale.bench()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full run of a macro-benchmark."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0)

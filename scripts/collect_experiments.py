@@ -1,0 +1,81 @@
+"""Collect the paper-scale experiment results for EXPERIMENTS.md.
+
+Runs every reproduced table/figure at the recorded scale and writes the
+rendered tables to ``results/experiments_output.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentScale,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table7,
+    table8,
+)
+
+
+def main() -> None:
+    scale = ExperimentScale.paper()
+    os.makedirs("results", exist_ok=True)
+    out_path = os.path.join("results", "experiments_output.txt")
+
+    # Parameter sweeps run on a three-video subset to bound wall time;
+    # fig4 / table8 cover all five videos.
+    from repro.experiments.runner import counting_videos
+
+    sweep_videos = None
+
+    def fig5_main(scale):
+        output = fig5.render(fig5.run(scale, videos=sweep_videos))
+        print(output)
+        return output
+
+    def fig6_main(scale):
+        output = fig6.render(fig6.run(scale, videos=sweep_videos))
+        print(output)
+        return output
+
+    def fig7_main(scale):
+        output = fig7.render(fig7.run(scale, videos=sweep_videos))
+        print(output)
+        return output
+
+    sweep_videos = counting_videos(scale)[:3]
+
+    sections = [
+        ("table7", table7.main),
+        ("fig4", fig4.main),
+        ("table8", table8.main),
+        ("fig5", fig5_main),
+        ("fig6", fig6_main),
+        ("fig7", fig7_main),
+        ("fig8", fig8.main),
+        ("fig9", fig9.main),
+    ]
+    with open(out_path, "w") as handle:
+        for name, runner in sections:
+            start = time.time()
+            print(f"=== {name} ===", flush=True)
+            try:
+                output = runner(scale)
+            except Exception as exc:  # keep collecting on failure
+                output = f"FAILED: {exc!r}"
+                print(output, flush=True)
+            elapsed = time.time() - start
+            handle.write(f"=== {name} (wall {elapsed:.0f}s) ===\n")
+            handle.write(output + "\n\n")
+            handle.flush()
+            print(f"--- {name} done in {elapsed:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Everest reproduction: Top-K deep video analytics with probabilistic
+guarantees (Lai et al., SIGMOD 2021).
+
+Quickstart
+----------
+>>> from repro import EverestEngine, EverestConfig
+>>> from repro.video import TrafficVideo
+>>> from repro.oracle import counting_udf
+>>> video = TrafficVideo("demo", 2_000, seed=1)
+>>> engine = EverestEngine(video, counting_udf("car"),
+...                        config=EverestConfig.fast())
+>>> report = engine.topk(k=5, thres=0.9)
+>>> print(report.summary())  # doctest: +SKIP
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from .config import (
+    DiffDetectorConfig,
+    EverestConfig,
+    Phase1Config,
+    Phase2Config,
+    SelectCandidateConfig,
+)
+from .core import EverestEngine, QueryReport
+from .errors import (
+    ConfigurationError,
+    GuaranteeUnreachableError,
+    ModelError,
+    OracleBudgetExceededError,
+    OracleError,
+    QueryError,
+    ReproError,
+    UncertainRelationError,
+    VideoError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EverestEngine",
+    "QueryReport",
+    "EverestConfig",
+    "Phase1Config",
+    "Phase2Config",
+    "DiffDetectorConfig",
+    "SelectCandidateConfig",
+    "ReproError",
+    "ConfigurationError",
+    "VideoError",
+    "ModelError",
+    "OracleError",
+    "OracleBudgetExceededError",
+    "UncertainRelationError",
+    "QueryError",
+    "GuaranteeUnreachableError",
+    "__version__",
+]

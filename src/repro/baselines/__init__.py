@@ -1,0 +1,34 @@
+"""Baselines from the paper's evaluation (Section 4).
+
+* scan-and-test — exact oracle scan (the speedup reference);
+* HOG — classic non-deep sliding-window counter;
+* CMDN-only — Phase 1's proxy ranking without verification;
+* TinyYOLOv3-only — a fast shallow detector scan;
+* Select-and-Topk — Top-K rewritten as a NoScope-style range selection
+  followed by oracle verification, with the paper's manual lambda
+  calibration.
+"""
+
+from .base import BaselineResult
+from .scan_and_test import scan_and_test
+from .hog import HogCounter, hog_topk
+from .tiny_model import TINY_ERRORS, tiny_topk
+from .cmdn_only import cmdn_only_topk
+from .select_and_topk import (
+    DEFAULT_LAMBDAS,
+    calibrated_select_and_topk,
+    select_and_topk,
+)
+
+__all__ = [
+    "BaselineResult",
+    "scan_and_test",
+    "HogCounter",
+    "hog_topk",
+    "TINY_ERRORS",
+    "tiny_topk",
+    "cmdn_only_topk",
+    "DEFAULT_LAMBDAS",
+    "calibrated_select_and_topk",
+    "select_and_topk",
+]

@@ -1,0 +1,31 @@
+"""Shared result type for the Section 4 baselines.
+
+Every baseline answers the same question — "which K frames have the
+highest oracle scores?" — with its own accuracy/cost trade-off. A
+:class:`BaselineResult` carries the ranked answer plus the simulated
+cost so the harness can compute the same four metrics the paper reports
+(speedup, precision, rank distance, score error) uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class BaselineResult:
+    """Ranked Top-K answer of one baseline run."""
+
+    method: str
+    video_name: str
+    k: int
+    #: Frame ids, best first (by the baseline's own scores).
+    answer_ids: List[int]
+    #: The baseline's scores for those frames (not oracle-verified
+    #: unless the method verifies them, e.g. select-and-topk).
+    answer_scores: List[float]
+    #: Simulated runtime in seconds.
+    simulated_seconds: float
+    #: Extra per-method diagnostics.
+    extras: Dict[str, float] = field(default_factory=dict)

@@ -1,0 +1,58 @@
+"""TinyYOLOv3-only baseline: fast, inaccurate full scan.
+
+The paper scans the video with TinyYOLOv3 (the shallow real-time
+variant of YOLOv3) and takes the Top-K of its counts; with so few
+layers, its score errors scramble the ranking and precision collapses.
+We emulate it with a lossy :class:`SimulatedObjectDetector` (misses,
+spurious detections, localization jitter) at TinyYOLO's per-frame
+latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..oracle.cost import CostModel
+from ..oracle.detector import DetectorErrorModel, SimulatedObjectDetector
+from ..video.synthetic import SyntheticVideo
+from .base import BaselineResult
+
+#: Error model calibrated to "shallow real-time detector": it sees most
+#: large/obvious objects but misses ~35% and hallucinates ~0.7 per
+#: frame — the regime where selection still sort-of works but Top-K
+#: ranking does not.
+TINY_ERRORS = DetectorErrorModel(
+    miss_rate=0.35, false_positive_rate=0.7, jitter=1.5, seed=1234)
+
+
+def tiny_topk(
+    video: SyntheticVideo,
+    k: int,
+    *,
+    object_label: str = None,
+    error_model: DetectorErrorModel = TINY_ERRORS,
+    unit_costs=None,
+) -> BaselineResult:
+    """Scan with the tiny detector; Top-K by its (noisy) counts."""
+    cost_model = CostModel(unit_costs)
+    detector = SimulatedObjectDetector(object_label, error_model)
+    n = len(video)
+    counts = np.empty(n, dtype=np.int64)
+    resolution = video.resolution
+    for index in range(n):
+        detections = detector.detect_boxes(
+            video.objects(index), frame_index=index, resolution=resolution)
+        counts[index] = len(detections)
+    cost_model.charge("tiny_infer", n)
+    cost_model.charge("decode", n)
+
+    order = np.lexsort((np.arange(n), -counts))
+    top = order[:k]
+    return BaselineResult(
+        method="tinyyolo-only",
+        video_name=video.name,
+        k=k,
+        answer_ids=[int(i) for i in top],
+        answer_scores=[float(counts[i]) for i in top],
+        simulated_seconds=cost_model.total_seconds(),
+    )

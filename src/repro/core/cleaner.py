@@ -1,0 +1,165 @@
+"""Phase 2: Top-K processing via online uncertain data cleaning.
+
+Starting from the uncertain relation D0, the cleaner iterates:
+
+1. extract the Top-K of the *certain* tuples (the certain-result
+   condition) and compute its confidence with Topk-prob;
+2. if the confidence reaches ``thres``, stop;
+3. otherwise Select-candidate picks the batch of frames whose cleaning
+   maximizes the expected next confidence, the oracle reveals their
+   exact scores (batch inference, paper Section 3.5), and the joint CDF
+   is updated incrementally.
+
+A bootstrap stage handles the corner where fewer than K tuples are
+certain yet (possible with tiny training samples): frames are cleaned
+in descending expected score until a K-sized certain answer exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import Phase2Config
+from ..errors import GuaranteeUnreachableError, QueryError
+from .select_candidate import CandidateSelector, SelectionStats
+from .topk_prob import ConfidenceState
+from .uncertain import UncertainRelation
+
+#: Signature of the cleaning callback: tuple ids -> exact scores.
+CleanFn = Callable[[Sequence[int]], np.ndarray]
+
+
+@dataclass
+class Phase2Result:
+    """Outcome of the cleaning loop."""
+
+    #: Tuple ids of the answer, best score first.
+    answer_ids: List[int]
+    #: Exact oracle scores aligned with ``answer_ids``.
+    answer_scores: List[float]
+    #: Confidence p-hat of the answer (>= thres on success).
+    confidence: float
+    #: Number of Select-candidate iterations run.
+    iterations: int
+    #: Number of tuples cleaned during Phase 2 (excl. Phase 1 labels).
+    cleaned: int
+    #: Confidence trace, one entry per iteration.
+    confidence_trace: List[float] = field(default_factory=list)
+    #: Scan-work instrumentation from the selector.
+    selection_stats: Optional[SelectionStats] = None
+
+
+class TopKCleaner:
+    """Ground-truth-in-the-loop uncertain Top-K processor."""
+
+    def __init__(
+        self,
+        relation: UncertainRelation,
+        clean_fn: CleanFn,
+        config: Phase2Config = Phase2Config(),
+        *,
+        reader=None,
+        cost_model=None,
+    ):
+        self.relation = relation
+        self.clean_fn = clean_fn
+        self.config = config
+        self.reader = reader
+        self.cost_model = cost_model
+        self.state = ConfidenceState(relation)
+        self.selector = CandidateSelector(
+            relation, self.state, config.select_candidate)
+        self.cleaned = 0
+
+    # ------------------------------------------------------------------
+    def _clean_positions(self, positions: np.ndarray) -> None:
+        ids = [int(self.relation.ids[p]) for p in positions]
+        if self.reader is not None:
+            self.reader.prefetch(len(ids))
+        scores = np.asarray(self.clean_fn(ids), dtype=np.float64)
+        if scores.shape != (len(ids),):
+            raise QueryError(
+                f"clean_fn returned shape {scores.shape} for {len(ids)} ids")
+        for position, score in zip(positions, scores):
+            self.state.remove(int(position))
+            self.relation.mark_certain(int(position), float(score))
+        self.cleaned += len(ids)
+
+    def _certain_topk(self, k: int) -> Tuple[np.ndarray, int, int]:
+        """Current answer positions plus (S_k, S_p) grid levels.
+
+        Ties break toward lower tuple id, matching the exact-result
+        definition used by the metrics.
+        """
+        certain_positions = np.flatnonzero(self.relation.certain)
+        if certain_positions.size < k:
+            raise QueryError("fewer than K certain tuples")
+        scores = self.relation.exact_scores[certain_positions]
+        ids = self.relation.ids[certain_positions]
+        order = np.lexsort((ids, -scores))
+        top = certain_positions[order[:k]]
+        levels = self.relation.grid.level_of(self.relation.exact_scores[top])
+        k_level = int(levels[-1])
+        p_level = int(levels[-2]) if k >= 2 else self.relation.grid.max_level
+        return top, k_level, p_level
+
+    def _bootstrap(self, k: int) -> None:
+        """Clean highest-expected-score frames until K are certain."""
+        if len(self.relation) < k:
+            raise GuaranteeUnreachableError(
+                f"relation has {len(self.relation)} tuples, need K={k}")
+        while self.relation.num_certain < k:
+            missing = k - self.relation.num_certain
+            uncertain = self.relation.uncertain_positions()
+            expected = self.relation.expected_scores()[uncertain]
+            take = min(max(missing, self.config.batch_size), uncertain.size)
+            best = np.argsort(-expected, kind="stable")[:take]
+            self._clean_positions(uncertain[best])
+
+    # ------------------------------------------------------------------
+    def run(self, k: int, thres: float) -> Phase2Result:
+        """Clean until the Top-K confidence reaches ``thres``."""
+        if k < 1:
+            raise QueryError("K must be >= 1")
+        if not 0.0 < thres <= 1.0:
+            raise QueryError("thres must be in (0, 1]")
+
+        self._bootstrap(k)
+        trace: List[float] = []
+        iteration = 0
+        while True:
+            top, k_level, p_level = self._certain_topk(k)
+            confidence = self.state.topk_prob(k_level)
+            trace.append(confidence)
+            if confidence >= thres or self.state.num_uncertain == 0:
+                answer_ids = [int(self.relation.ids[p]) for p in top]
+                answer_scores = [
+                    float(self.relation.exact_scores[p]) for p in top]
+                return Phase2Result(
+                    answer_ids=answer_ids,
+                    answer_scores=answer_scores,
+                    confidence=confidence,
+                    iterations=iteration,
+                    cleaned=self.cleaned,
+                    confidence_trace=trace,
+                    selection_stats=self.selector.stats,
+                )
+            if self.cost_model is not None:
+                with self.cost_model.timer("select_candidate"):
+                    candidates = self.selector.select(
+                        iteration, k_level, p_level, self.config.batch_size)
+            else:
+                candidates = self.selector.select(
+                    iteration, k_level, p_level, self.config.batch_size)
+            if candidates.size == 0:  # pragma: no cover - defensive
+                raise GuaranteeUnreachableError(
+                    "no uncertain tuples left but confidence below thres")
+            if self.reader is not None and \
+                    self.selector._order is not None:
+                order_ids = self.relation.ids[self.selector._order]
+                self.reader.set_priority_order(order_ids.tolist())
+            self._clean_positions(candidates)
+            iteration += 1

@@ -1,0 +1,150 @@
+"""Phase 1: build the initial uncertain relation D0 (paper Section 3.2).
+
+Steps, each charged to the cost ledger under its Table 8 column:
+
+1. sample ``min(0.5% n, 30000)`` training frames plus a holdout set and
+   label them with the oracle (``oracle_label``);
+2. train the CMDN hyperparameter grid and keep the smallest-holdout-NLL
+   model (``cmdn_train``);
+3. run the difference detector to discard near-duplicate frames
+   (``diff_detect`` + ``decode``);
+4. run the chosen proxy over the retained frames to get per-frame score
+   distributions (``cmdn_infer``) and quantize them into x-tuples;
+5. insert the already-labelled frames as certain tuples (no oracle work
+   is wasted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import DiffDetectorConfig, Phase1Config
+from ..models.cmdn import ProxyScorer
+from ..models.mdn import GaussianMixture
+from ..models.trainer import GridResult, train_proxy_grid
+from ..oracle.base import Oracle
+from ..video.diff import DifferenceDetector, DiffResult
+from ..video.synthetic import SyntheticVideo
+from .uncertain import UncertainRelation, build_relation
+
+#: Chunk size for proxy inference over the retained frames.
+_INFER_CHUNK = 2_048
+
+
+@dataclass
+class Phase1Result:
+    """Everything Phase 2 (and the experiments) need from Phase 1."""
+
+    relation: UncertainRelation
+    proxy: ProxyScorer
+    grid_result: GridResult
+    diff_result: DiffResult
+    #: Exact scores observed while labelling samples (frame -> score).
+    known_scores: Dict[int, float]
+    #: Mixtures for each retained frame (aligned with diff retained).
+    mixtures: GaussianMixture
+
+
+def _sample_indices(
+    rng: np.random.Generator, num_frames: int, train: int, holdout: int
+):
+    total = min(train + holdout, num_frames)
+    chosen = rng.choice(num_frames, size=total, replace=False)
+    return chosen[:train], chosen[train:]
+
+
+def run_phase1(
+    video: SyntheticVideo,
+    oracle: Oracle,
+    *,
+    config: Phase1Config = Phase1Config(),
+    diff_config: DiffDetectorConfig = DiffDetectorConfig(),
+    cost_model=None,
+    seed: int = 0,
+) -> Phase1Result:
+    """Build D0 for ``video`` under the given oracle scoring function."""
+    num_frames = len(video)
+    rng = np.random.default_rng(seed)
+    train_size = config.train_sample_size(num_frames)
+    holdout_size = config.holdout_sample_size(num_frames)
+    train_idx, holdout_idx = _sample_indices(
+        rng, num_frames, train_size, holdout_size)
+
+    # 1. Oracle-label the samples (this is real oracle cost).
+    train_scores = oracle.score(video, train_idx)
+    holdout_scores = oracle.score(video, holdout_idx)
+    known_scores: Dict[int, float] = {}
+    for idx, score in zip(train_idx, train_scores):
+        known_scores[int(idx)] = float(score)
+    for idx, score in zip(holdout_idx, holdout_scores):
+        known_scores[int(idx)] = float(score)
+
+    if cost_model is not None:
+        cost_model.charge("decode", len(train_idx) + len(holdout_idx))
+    train_pixels = video.batch_pixels(train_idx)
+    holdout_pixels = video.batch_pixels(holdout_idx)
+
+    # 2. Train the (g, h) grid; select by holdout NLL.
+    grid_result = train_proxy_grid(
+        train_pixels,
+        train_scores,
+        holdout_pixels,
+        holdout_scores,
+        config=config,
+        input_hw=video.resolution,
+        seed=seed,
+    )
+    if cost_model is not None:
+        cost_model.charge("cmdn_train", grid_result.sample_epochs)
+
+    # 3. Difference detection over the whole video.
+    diff_result = DifferenceDetector(diff_config).run(video)
+    if cost_model is not None:
+        cost_model.charge("diff_detect", num_frames)
+        cost_model.charge("decode", num_frames)
+
+    # 4. Proxy inference on the retained frames.
+    retained = diff_result.retained
+    proxy = grid_result.proxy
+    pis, mus, sigmas = [], [], []
+    for start in range(0, retained.size, _INFER_CHUNK):
+        chunk = retained[start:start + _INFER_CHUNK]
+        mix = proxy.predict_mixtures(video.batch_pixels(chunk))
+        pis.append(mix.pi)
+        mus.append(mix.mu)
+        sigmas.append(mix.sigma)
+    if pis:
+        mixtures = GaussianMixture(
+            pi=np.concatenate(pis),
+            mu=np.concatenate(mus),
+            sigma=np.concatenate(sigmas),
+        )
+    else:  # pragma: no cover - empty video guard
+        empty = np.zeros((0, 1))
+        mixtures = GaussianMixture(empty, empty.copy(), empty.copy())
+    if cost_model is not None:
+        cost_model.charge("cmdn_infer", retained.size)
+
+    # 5. Quantize into x-tuples; known frames become certain tuples.
+    step = config.quantization_step
+    if step is None:
+        step = oracle.scoring.step
+    relation = build_relation(
+        retained,
+        mixtures,
+        floor=oracle.scoring.score_floor,
+        step=step,
+        known_scores=known_scores,
+        truncate_sigmas=config.truncate_sigmas,
+    )
+    return Phase1Result(
+        relation=relation,
+        proxy=proxy,
+        grid_result=grid_result,
+        diff_result=diff_result,
+        known_scores=known_scores,
+        mixtures=mixtures,
+    )

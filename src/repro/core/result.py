@@ -1,0 +1,104 @@
+"""Query result / report types returned by the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class PhaseBreakdown:
+    """Simulated seconds per Table 8 column."""
+
+    label_sample: float = 0.0
+    cmdn_training: float = 0.0
+    populate_d0: float = 0.0
+    select_candidate: float = 0.0
+    confirm_oracle: float = 0.0
+
+    @property
+    def phase1_seconds(self) -> float:
+        return self.label_sample + self.cmdn_training + self.populate_d0
+
+    @property
+    def phase2_seconds(self) -> float:
+        return self.select_candidate + self.confirm_oracle
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase1_seconds + self.phase2_seconds
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_seconds
+        if total <= 0:
+            return {}
+        return {
+            "label_sample": self.label_sample / total,
+            "cmdn_training": self.cmdn_training / total,
+            "populate_d0": self.populate_d0 / total,
+            "select_candidate": self.select_candidate / total,
+            "confirm_oracle": self.confirm_oracle / total,
+        }
+
+
+@dataclass
+class QueryReport:
+    """Full record of one Top-K (or Top-K window) query.
+
+    ``answer_ids`` are frame indices for frame queries and window
+    indices for window queries; ``window_size`` disambiguates.
+    """
+
+    video_name: str
+    udf_name: str
+    k: int
+    thres: float
+    window_size: Optional[int]
+    num_frames: int
+
+    answer_ids: List[int] = field(default_factory=list)
+    answer_scores: List[float] = field(default_factory=list)
+    confidence: float = 0.0
+
+    iterations: int = 0
+    cleaned: int = 0
+    num_tuples: int = 0
+    num_retained: int = 0
+    oracle_calls: int = 0
+
+    breakdown: PhaseBreakdown = field(default_factory=PhaseBreakdown)
+    scan_seconds: float = 0.0
+
+    proxy_hyperparameters: Tuple[int, int] = (0, 0)
+    holdout_nll: float = 0.0
+    confidence_trace: List[float] = field(default_factory=list)
+    selection_examine_fraction: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.breakdown.total_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Simulated speedup over the naive scan-and-test baseline."""
+        total = self.simulated_seconds
+        if total <= 0:
+            return float("inf")
+        return self.scan_seconds / total
+
+    @property
+    def cleaned_fraction(self) -> float:
+        """Fraction of the video's tuples cleaned during Phase 2."""
+        if self.num_tuples == 0:
+            return 0.0
+        return self.cleaned / self.num_tuples
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        kind = "windows" if self.window_size else "frames"
+        return (
+            f"Top-{self.k} {kind} on {self.video_name} "
+            f"[{self.udf_name}]: confidence={self.confidence:.3f} "
+            f"speedup={self.speedup:.1f}x cleaned={self.cleaned} "
+            f"({self.cleaned_fraction:.2%}) iters={self.iterations}"
+        )

@@ -1,0 +1,206 @@
+"""Select-candidate: choosing the best frames to clean (Section 3.3.2).
+
+Cleaning frame ``f`` yields an (unknown) new confidence ``X_f``; the
+selector picks ``f* = argmax E[X_f]``. Equation 5's case analysis over
+the revealed score ``s`` gives a closed form (Equation 6):
+
+* ``s <= S_k``     — answer unchanged; the term telescopes to the
+  current-confidence contribution ``F_f(S_k) * prod_{f' != f} F_f'(S_k)``;
+* ``S_k < s <= S_p`` — ``f`` becomes the new K-th with threshold ``s``;
+* ``s > S_p``      — the old penultimate becomes the threshold.
+
+All products run over the *currently uncertain* tuples with ``f``
+factored out, which :meth:`ConfidenceState.joint_cdf_excluding`
+provides in vectorized, zero-safe form.
+
+To avoid computing ``E[X_f]`` for every uncertain frame, Equation 7
+bounds it by ``p-hat + gamma * psi(f)`` with the frame-independent
+``gamma = H_u(S_p)`` and sort-factor ``psi(f) = (1-F_f(S_k))/F_f(S_p)``.
+Frames are scanned in descending *stale* psi order (Equation 8 — psi
+only shrinks as ``S_k``/``S_p`` grow, so a stale psi is still an upper
+bound) and the scan stops early once the bound falls below the current
+batch's worst kept expectation. The stale order is refreshed on the
+paper's schedule: every ``resort_every`` iterations during the first
+``resort_warmup`` iterations, afterwards only when ``S_k`` or ``S_p``
+change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SelectCandidateConfig
+from .topk_prob import ConfidenceState
+from .uncertain import UncertainRelation
+
+#: Clamp for zero CDFs inside the psi sort key. Frames with
+#: ``F_f(S_p) = 0`` certainly beat the penultimate score, so they sort
+#: (correctly) to the very front of the scan order.
+_TINY = 1e-300
+
+#: Vectorized scan chunk.
+_CHUNK = 512
+
+
+@dataclass
+class SelectionStats:
+    """Instrumentation: how much work the early-stopped scan did."""
+
+    calls: int = 0
+    frames_examined: int = 0
+    frames_available: int = 0
+    resorts: int = 0
+
+    @property
+    def examine_fraction(self) -> float:
+        if self.frames_available == 0:
+            return 0.0
+        return self.frames_examined / self.frames_available
+
+
+class CandidateSelector:
+    """Early-stopping argmax-E[X_f] selector over uncertain tuples."""
+
+    def __init__(
+        self,
+        relation: UncertainRelation,
+        state: ConfidenceState,
+        config: SelectCandidateConfig = SelectCandidateConfig(),
+    ):
+        self.relation = relation
+        self.state = state
+        self.config = config
+        self.stats = SelectionStats()
+        self._order: Optional[np.ndarray] = None
+        self._stale_psi: Optional[np.ndarray] = None
+        self._sort_iteration = -(10 ** 9)
+        self._sort_levels: Tuple[int, int] = (-1, -1)
+
+    # ------------------------------------------------------------------
+    def psi(
+        self, positions: np.ndarray, k_level: int, p_level: int
+    ) -> np.ndarray:
+        """Sort factor ``(1 - F_f(S_k)) / F_f(S_p)`` (Equation 7)."""
+        cdf = self.relation.cdf
+        survival = 1.0 - cdf[positions, k_level]
+        denominator = np.maximum(cdf[positions, p_level], _TINY)
+        return survival / denominator
+
+    def expected_confidences(
+        self,
+        positions: np.ndarray,
+        k_level: int,
+        p_level: int,
+    ) -> np.ndarray:
+        """Vectorized Equation 6 for the given uncertain positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        cdf = self.relation.cdf
+        pmf = self.relation.pmf
+
+        # Case s <= S_k: the answer and threshold are unchanged.
+        expected = cdf[positions, k_level] * \
+            self.state.joint_cdf_excluding(positions, k_level)
+
+        # Case S_k < s <= S_p: f becomes the K-th with threshold s.
+        for level in range(k_level + 1, p_level + 1):
+            weights = pmf[positions, level]
+            if not np.any(weights):
+                continue
+            expected = expected + weights * \
+                self.state.joint_cdf_excluding(positions, level)
+
+        # Case s > S_p: the old penultimate becomes the threshold.
+        tail = 1.0 - cdf[positions, p_level]
+        expected = expected + tail * \
+            self.state.joint_cdf_excluding(positions, p_level)
+        return expected
+
+    # ------------------------------------------------------------------
+    def _needs_resort(self, iteration: int, k_level: int, p_level: int) -> bool:
+        if self._order is None:
+            return True
+        if iteration < self.config.resort_warmup:
+            return iteration - self._sort_iteration >= self.config.resort_every
+        return (k_level, p_level) != self._sort_levels
+
+    def _resort(self, iteration: int, k_level: int, p_level: int) -> None:
+        positions = np.flatnonzero(self.state.uncertain_mask)
+        psi = self.psi(positions, k_level, p_level)
+        order = np.argsort(-psi, kind="stable")
+        self._order = positions[order]
+        self._stale_psi = psi[order]
+        self._sort_iteration = iteration
+        self._sort_levels = (k_level, p_level)
+        self.stats.resorts += 1
+
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        iteration: int,
+        k_level: int,
+        p_level: int,
+        batch_size: int,
+    ) -> np.ndarray:
+        """Return up to ``batch_size`` positions with the highest E[X_f].
+
+        Scans the stale-psi order with Equation 7/8 early stopping when
+        ``config.use_upper_bound`` is set; otherwise evaluates every
+        uncertain frame exactly (the ablation baseline).
+        """
+        available = np.flatnonzero(self.state.uncertain_mask)
+        self.stats.calls += 1
+        self.stats.frames_available += available.size
+        if available.size == 0:
+            return available
+        batch_size = min(batch_size, available.size)
+
+        if not self.config.use_upper_bound:
+            expected = self.expected_confidences(available, k_level, p_level)
+            best = np.argsort(-expected, kind="stable")[:batch_size]
+            self.stats.frames_examined += available.size
+            return available[best]
+
+        if self._needs_resort(iteration, k_level, p_level):
+            self._resort(iteration, k_level, p_level)
+        assert self._order is not None and self._stale_psi is not None
+
+        gamma = self.state.joint_cdf(p_level)
+        p_hat = self.state.topk_prob(k_level)
+        kept_pos: List[np.ndarray] = []
+        kept_exp: List[np.ndarray] = []
+        examined = 0
+
+        order = self._order
+        stale_psi = self._stale_psi
+        mask = self.state.uncertain_mask
+        cursor = 0
+        while cursor < order.size:
+            chunk = order[cursor:cursor + _CHUNK]
+            chunk_psi = stale_psi[cursor:cursor + _CHUNK]
+            cursor += _CHUNK
+            alive = mask[chunk]
+            chunk = chunk[alive]
+            chunk_psi = chunk_psi[alive]
+            if chunk.size == 0:
+                continue
+            expected = self.expected_confidences(chunk, k_level, p_level)
+            examined += chunk.size
+            kept_pos.append(chunk)
+            kept_exp.append(expected)
+
+            total = sum(arr.size for arr in kept_pos)
+            if total >= batch_size and cursor < order.size:
+                all_exp = np.concatenate(kept_exp)
+                kth_best = np.partition(all_exp, -batch_size)[-batch_size]
+                next_bound = p_hat + gamma * stale_psi[cursor]
+                if next_bound <= kth_best:
+                    break
+
+        self.stats.frames_examined += examined
+        all_pos = np.concatenate(kept_pos)
+        all_exp = np.concatenate(kept_exp)
+        best = np.argsort(-all_exp, kind="stable")[:batch_size]
+        return all_pos[best]

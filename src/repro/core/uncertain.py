@@ -1,0 +1,275 @@
+"""x-tuples, quantization, and the uncertain relation (paper Section 3.2).
+
+An uncertain relation is a collection of x-tuples, one per retained
+frame; each x-tuple is a discrete distribution over possible scores.
+Everest obtains the distributions from the CMDN's Gaussian mixtures by
+(a) truncating each component beyond ``3 sigma`` with the trimmed mass
+spread evenly over the remaining support (following Chopin [17] as the
+paper does) and (b) quantizing onto a uniform grid: non-negative
+integers for counting scores, or a user-supplied step otherwise.
+
+Frames whose exact scores were already obtained while collecting the
+training / holdout samples are inserted as *certain* tuples so no
+oracle work is wasted.
+
+The relation stores dense ``(num_tuples, num_levels)`` pmf / cdf
+matrices: score grids are small (counts 0..~20; quantized continuous
+scores a few hundred levels), which keeps every Phase 2 computation a
+vectorized slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.stats import norm
+
+from ..errors import ConfigurationError, UncertainRelationError
+from ..models.mdn import GaussianMixture
+
+#: Guard on grid size; larger grids indicate a mis-chosen step.
+MAX_LEVELS = 2_048
+
+
+@dataclass(frozen=True)
+class QuantizationGrid:
+    """Uniform score grid: level ``t`` represents ``floor + t * step``."""
+
+    floor: float
+    step: float
+    num_levels: int
+
+    def __post_init__(self):
+        if self.step <= 0:
+            raise ConfigurationError("quantization step must be positive")
+        if self.num_levels < 1:
+            raise ConfigurationError("num_levels must be >= 1")
+        if self.num_levels > MAX_LEVELS:
+            raise ConfigurationError(
+                f"quantization grid of {self.num_levels} levels exceeds "
+                f"{MAX_LEVELS}; choose a coarser step")
+
+    @property
+    def max_level(self) -> int:
+        return self.num_levels - 1
+
+    def level_of(self, score) -> np.ndarray:
+        """Nearest grid level for score(s), clipped into the grid."""
+        levels = np.rint((np.asarray(score) - self.floor) / self.step)
+        return np.clip(levels, 0, self.max_level).astype(np.int64)
+
+    def score_of(self, level) -> np.ndarray:
+        """Representative score of grid level(s)."""
+        return self.floor + np.asarray(level, dtype=np.float64) * self.step
+
+    def edges(self) -> np.ndarray:
+        """Bin edges: level ``t`` owns ``[edges[t], edges[t+1])``; the
+        bottom and top bins absorb the tails."""
+        inner = self.floor + (np.arange(self.num_levels - 1) + 0.5) * self.step
+        return np.concatenate(([-np.inf], inner, [np.inf]))
+
+
+def grid_for(
+    mixtures: GaussianMixture,
+    *,
+    floor: float,
+    step: float,
+    extra_scores: Optional[Sequence[float]] = None,
+    truncate_sigmas: float = 3.0,
+) -> QuantizationGrid:
+    """Choose a grid covering all mixtures (to ``k sigma``) and scores."""
+    top = floor + step  # at least two levels
+    if mixtures.pi.size:
+        upper = mixtures.mu + truncate_sigmas * mixtures.sigma
+        top = max(top, float(np.max(upper)))
+    if extra_scores is not None and len(extra_scores) > 0:
+        top = max(top, float(np.max(extra_scores)))
+    num_levels = int(np.ceil((top - floor) / step)) + 1
+    return QuantizationGrid(floor=floor, step=step, num_levels=num_levels)
+
+
+def quantize_mixtures(
+    mixtures: GaussianMixture,
+    grid: QuantizationGrid,
+    *,
+    truncate_sigmas: float = 3.0,
+) -> np.ndarray:
+    """Quantize batched mixtures onto the grid as ``(N, L)`` pmfs.
+
+    Per component: Gaussian mass is integrated per bin with the
+    integration range clipped to ``mu +/- k sigma``; the trimmed tail
+    mass is spread evenly over the bins intersecting that range (the
+    paper's "set to zero and evenly distributed to the rest"). Component
+    pmfs are then mixed by ``pi`` and renormalized.
+    """
+    n, g = mixtures.pi.shape
+    edges = grid.edges()  # (L+1,)
+    pmf = np.zeros((n, grid.num_levels))
+    if n == 0:
+        return pmf
+
+    lo = (mixtures.mu - truncate_sigmas * mixtures.sigma)  # (N, g)
+    hi = (mixtures.mu + truncate_sigmas * mixtures.sigma)
+    for j in range(g):
+        mu = mixtures.mu[:, j][:, None]
+        sigma = mixtures.sigma[:, j][:, None]
+        lo_j = lo[:, j][:, None]
+        hi_j = hi[:, j][:, None]
+        clipped_lo = np.clip(edges[None, :-1], lo_j, hi_j)
+        clipped_hi = np.clip(edges[None, 1:], lo_j, hi_j)
+        mass = norm.cdf((clipped_hi - mu) / sigma) \
+            - norm.cdf((clipped_lo - mu) / sigma)
+        # Spread the trimmed tail mass evenly over the touched bins.
+        touched = clipped_hi > clipped_lo
+        num_touched = np.maximum(touched.sum(axis=1, keepdims=True), 1)
+        trimmed = 1.0 - mass.sum(axis=1, keepdims=True)
+        mass = mass + touched * (trimmed / num_touched)
+        pmf += mixtures.pi[:, j][:, None] * mass
+
+    totals = pmf.sum(axis=1, keepdims=True)
+    totals[totals <= 0] = 1.0
+    return np.clip(pmf / totals, 0.0, None)
+
+
+class UncertainRelation:
+    """The uncertain relation D: x-tuples over retained frames.
+
+    Tuples are either *uncertain* (a pmf from the proxy) or *certain*
+    (an oracle-observed score). Cleaning a tuple replaces its pmf with
+    a point mass and records the exact score.
+    """
+
+    def __init__(
+        self,
+        ids: Sequence[int],
+        pmf: np.ndarray,
+        grid: QuantizationGrid,
+    ):
+        ids = np.asarray(ids, dtype=np.int64)
+        pmf = np.asarray(pmf, dtype=np.float64)
+        if pmf.ndim != 2 or pmf.shape[0] != ids.size:
+            raise UncertainRelationError(
+                f"pmf shape {pmf.shape} incompatible with {ids.size} ids")
+        if pmf.shape[1] != grid.num_levels:
+            raise UncertainRelationError(
+                f"pmf has {pmf.shape[1]} levels, grid has {grid.num_levels}")
+        if ids.size != np.unique(ids).size:
+            raise UncertainRelationError("tuple ids must be unique")
+        sums = pmf.sum(axis=1)
+        if pmf.size and not np.allclose(sums, 1.0, atol=1e-6):
+            raise UncertainRelationError("each x-tuple pmf must sum to 1")
+
+        self.grid = grid
+        self.ids = ids
+        self.pmf = pmf
+        self.cdf = np.clip(np.cumsum(pmf, axis=1), 0.0, 1.0)
+        self.cdf[:, -1] = 1.0
+        self.certain = np.zeros(ids.size, dtype=bool)
+        #: Exact (unquantized) score for certain tuples, NaN otherwise.
+        self.exact_scores = np.full(ids.size, np.nan)
+        self._pos: Dict[int, int] = {int(f): i for i, f in enumerate(ids)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def num_certain(self) -> int:
+        return int(self.certain.sum())
+
+    @property
+    def num_uncertain(self) -> int:
+        return len(self) - self.num_certain
+
+    def position(self, frame_id: int) -> int:
+        try:
+            return self._pos[int(frame_id)]
+        except KeyError:
+            raise UncertainRelationError(
+                f"frame {frame_id} not in relation") from None
+
+    def mark_certain(self, position: int, score: float) -> int:
+        """Clean one tuple: point-mass pmf at the score's level.
+
+        Returns the quantized level of the observed score.
+        """
+        if self.certain[position]:
+            raise UncertainRelationError(
+                f"tuple at position {position} already certain")
+        level = int(self.grid.level_of(score))
+        self.pmf[position, :] = 0.0
+        self.pmf[position, level] = 1.0
+        self.cdf[position, :] = 0.0
+        self.cdf[position, level:] = 1.0
+        self.certain[position] = True
+        self.exact_scores[position] = float(score)
+        return level
+
+    def certain_levels(self) -> np.ndarray:
+        """Grid levels of all certain tuples (aligned with positions)."""
+        positions = np.flatnonzero(self.certain)
+        return self.grid.level_of(self.exact_scores[positions])
+
+    def uncertain_positions(self) -> np.ndarray:
+        return np.flatnonzero(~self.certain)
+
+    def expected_scores(self) -> np.ndarray:
+        """Per-tuple pmf means in score units (certain -> exact level)."""
+        levels = self.grid.score_of(np.arange(self.grid.num_levels))
+        return self.pmf @ levels
+
+    def copy(self) -> "UncertainRelation":
+        clone = UncertainRelation(self.ids.copy(), self.pmf.copy(), self.grid)
+        clone.certain = self.certain.copy()
+        clone.exact_scores = self.exact_scores.copy()
+        clone.cdf = self.cdf.copy()
+        return clone
+
+
+def build_relation(
+    ids: Sequence[int],
+    mixtures: GaussianMixture,
+    *,
+    floor: float,
+    step: float,
+    known_scores: Optional[Dict[int, float]] = None,
+    truncate_sigmas: float = 3.0,
+) -> UncertainRelation:
+    """Build D0 from proxy mixtures plus already-known exact scores.
+
+    ``ids`` aligns with ``mixtures`` rows. Frames present in
+    ``known_scores`` (the Phase 1 training / holdout samples) are
+    inserted as certain tuples; extra known frames not in ``ids`` are
+    appended.
+    """
+    known_scores = dict(known_scores or {})
+    ids = [int(i) for i in ids]
+    extra_ids = sorted(set(known_scores) - set(ids))
+    all_scores = list(known_scores.values())
+
+    grid = grid_for(
+        mixtures,
+        floor=floor,
+        step=step,
+        extra_scores=all_scores,
+        truncate_sigmas=truncate_sigmas,
+    )
+    pmf = quantize_mixtures(mixtures, grid, truncate_sigmas=truncate_sigmas)
+    if extra_ids:
+        pmf = np.vstack([pmf, np.zeros((len(extra_ids), grid.num_levels))])
+    full_ids = ids + extra_ids
+    # Point-mass rows for extra known frames (placeholder; fixed below).
+    for offset, frame in enumerate(extra_ids):
+        level = int(grid.level_of(known_scores[frame]))
+        pmf[len(ids) + offset, level] = 1.0
+
+    relation = UncertainRelation(full_ids, pmf, grid)
+    for frame, score in known_scores.items():
+        position = relation.position(frame)
+        if not relation.certain[position]:
+            relation.mark_certain(position, score)
+        else:
+            relation.exact_scores[position] = float(score)
+    return relation

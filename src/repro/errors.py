@@ -1,0 +1,73 @@
+"""Exception hierarchy for the Everest reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the common failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class VideoError(ReproError):
+    """A video source could not be generated, decoded, or addressed."""
+
+
+class FrameIndexError(VideoError, IndexError):
+    """A frame index fell outside the video's ``[0, num_frames)`` range."""
+
+    def __init__(self, index: int, num_frames: int):
+        super().__init__(
+            f"frame index {index} out of range for video with "
+            f"{num_frames} frames"
+        )
+        self.index = index
+        self.num_frames = num_frames
+
+
+class ModelError(ReproError):
+    """A model could not be built, trained, or evaluated."""
+
+
+class NotFittedError(ModelError):
+    """A model was used for inference before it was trained."""
+
+
+class ShapeError(ModelError, ValueError):
+    """An array had an incompatible shape for the requested operation."""
+
+
+class OracleError(ReproError):
+    """The oracle (ground-truth scorer) failed or was misused."""
+
+
+class OracleBudgetExceededError(OracleError):
+    """An oracle-invocation budget was exhausted during cleaning."""
+
+    def __init__(self, budget: int):
+        super().__init__(f"oracle invocation budget of {budget} frames exhausted")
+        self.budget = budget
+
+
+class UncertainRelationError(ReproError):
+    """An x-tuple or uncertain relation violated a structural invariant."""
+
+
+class QueryError(ReproError):
+    """A Top-K query was malformed or could not be answered."""
+
+
+class GuaranteeUnreachableError(QueryError):
+    """The requested probabilistic guarantee cannot be met.
+
+    Raised when every uncertain tuple has been cleaned and the resulting
+    (fully certain) relation still cannot produce ``K`` results — e.g.
+    the video has fewer distinct frames than ``K``.
+    """

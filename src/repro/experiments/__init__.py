@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table / figure.
+
+Each module exposes ``run(scale)`` returning structured records and
+``main(scale)`` printing the paper-style table. The benchmark suite
+(``benchmarks/``) and EXPERIMENTS.md are generated through this code.
+"""
+
+from .runner import (
+    ExperimentRecord,
+    ExperimentScale,
+    counting_videos,
+    dashcam_videos,
+    format_table,
+    run_everest,
+)
+from . import fig4, fig5, fig6, fig7, fig8, fig9, table7, table8
+
+__all__ = [
+    "ExperimentRecord",
+    "ExperimentScale",
+    "counting_videos",
+    "dashcam_videos",
+    "format_table",
+    "run_everest",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table7",
+    "table8",
+]

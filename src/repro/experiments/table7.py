@@ -1,0 +1,21 @@
+"""Table 7: dataset characteristics.
+
+Prints the paper's dataset table alongside the scaled frame counts the
+synthetic stand-ins use.
+"""
+
+from __future__ import annotations
+
+from ..video.datasets import dataset_table
+from .runner import ExperimentScale
+
+
+def main(scale: ExperimentScale = ExperimentScale.paper()) -> str:
+    output = "Table 7: dataset characteristics\n" + dataset_table(
+        scale.dataset_scale)
+    print(output)
+    return output
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

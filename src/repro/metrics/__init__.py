@@ -1,0 +1,19 @@
+"""Evaluation metrics matching the paper's Section 4."""
+
+from .quality import (
+    QualityMetrics,
+    evaluate_answer,
+    kth_highest,
+    precision_at_k,
+    rank_distance,
+    score_error,
+)
+
+__all__ = [
+    "QualityMetrics",
+    "evaluate_answer",
+    "kth_highest",
+    "precision_at_k",
+    "rank_distance",
+    "score_error",
+]

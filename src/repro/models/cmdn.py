@@ -1,0 +1,165 @@
+"""CMDN builders and the proxy-scorer interface used by Phase 1.
+
+Two interchangeable proxies implement the contract "frame pixels ->
+Gaussian-mixture score distribution":
+
+* :class:`ConvMDNProxy` — the paper's convolutional mixture density
+  network (Figure 2): a conv/max-pool stack whose i-th layer has
+  ``2**(i+3)`` 3x3 filters followed by 2x2 pooling, then an MDN layer
+  with ``h`` hidden units ("hypotheses") emitting ``g`` Gaussians.
+  Depth is configurable; the paper uses five conv layers on 128x128
+  inputs, our default is three on small synthetic frames (the paper
+  itself notes fewer layers changes little once decode dominates).
+* :class:`FeatureMDNProxy` — the same MDN head on cheap hand-crafted
+  features (:mod:`repro.models.features`), used for large sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, NotFittedError
+from .features import NUM_FEATURES, FeatureScaler, extract_features
+from .layers import Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU
+from .mdn import GaussianMixture, MDNHead
+from .network import MixtureDensityNetwork
+
+
+def build_conv_mdn(
+    input_hw: Sequence[int],
+    *,
+    num_gaussians: int,
+    num_hypotheses: int,
+    num_conv_layers: int = 3,
+    seed: int = 0,
+) -> MixtureDensityNetwork:
+    """Build the paper's CMDN (Figure 2) for ``(H, W)`` grayscale input.
+
+    Layer ``i`` (0-based) has ``2**(i+3)`` filters of 3x3 kernel
+    followed by 2x2 max-pooling — 16, 32, 64, 128, 256 filters in the
+    paper's five-layer configuration.
+    """
+    height, width = int(input_hw[0]), int(input_hw[1])
+    layers: List[Layer] = []
+    channels = 1
+    h, w = height, width
+    for i in range(num_conv_layers):
+        out_channels = 2 ** (i + 4)  # 16, 32, 64, ...
+        if h < 2 or w < 2:
+            raise ConfigurationError(
+                f"input {height}x{width} too small for "
+                f"{num_conv_layers} conv/pool layers")
+        layers.append(Conv2D(channels, out_channels, 3, seed=seed + i))
+        layers.append(ReLU())
+        layers.append(MaxPool2D(2))
+        channels = out_channels
+        h, w = h // 2, w // 2
+    layers.append(Flatten())
+    flat = channels * h * w
+    layers.append(Dense(flat, num_hypotheses, seed=seed + 100))
+    layers.append(ReLU())
+    head = MDNHead(num_hypotheses, num_gaussians, seed=seed + 200)
+    return MixtureDensityNetwork(layers, head)
+
+
+def build_feature_mdn(
+    *,
+    num_gaussians: int,
+    num_hypotheses: int,
+    num_features: int = NUM_FEATURES,
+    seed: int = 0,
+) -> MixtureDensityNetwork:
+    """Dense MDN over hand-crafted features (fast proxy)."""
+    layers: List[Layer] = [
+        Dense(num_features, num_hypotheses, seed=seed),
+        ReLU(),
+        Dense(num_hypotheses, num_hypotheses, seed=seed + 1),
+        ReLU(),
+    ]
+    head = MDNHead(num_hypotheses, num_gaussians, seed=seed + 2)
+    return MixtureDensityNetwork(layers, head)
+
+
+class ProxyScorer:
+    """Interface: map frame pixels to score distributions."""
+
+    #: (num_gaussians, num_hypotheses) of this proxy.
+    hyperparameters: tuple
+
+    def prepare_inputs(self, pixels: np.ndarray) -> np.ndarray:
+        """Convert ``(N, H, W)`` pixels to network inputs."""
+        raise NotImplementedError
+
+    def predict_mixtures(self, pixels: np.ndarray) -> GaussianMixture:
+        """Score distributions (in score units) for a pixel batch."""
+        raise NotImplementedError
+
+    def holdout_nll(self, pixels: np.ndarray, scores: np.ndarray) -> float:
+        """Model-selection criterion (paper: smallest NLL wins)."""
+        mix = self.predict_mixtures(pixels)
+        return float(-np.mean(mix.log_likelihood(np.asarray(scores))))
+
+
+class ConvMDNProxy(ProxyScorer):
+    """Paper-faithful convolutional MDN proxy."""
+
+    def __init__(
+        self,
+        input_hw: Sequence[int],
+        *,
+        num_gaussians: int,
+        num_hypotheses: int,
+        num_conv_layers: int = 3,
+        seed: int = 0,
+    ):
+        self.network = build_conv_mdn(
+            input_hw,
+            num_gaussians=num_gaussians,
+            num_hypotheses=num_hypotheses,
+            num_conv_layers=num_conv_layers,
+            seed=seed,
+        )
+        self.hyperparameters = (num_gaussians, num_hypotheses)
+
+    def prepare_inputs(self, pixels: np.ndarray) -> np.ndarray:
+        arr = np.asarray(pixels, dtype=np.float64)
+        if arr.ndim == 2:
+            arr = arr[None]
+        return arr[:, None, :, :]  # add channel axis
+
+    def predict_mixtures(self, pixels: np.ndarray) -> GaussianMixture:
+        return self.network.predict(self.prepare_inputs(pixels))
+
+
+class FeatureMDNProxy(ProxyScorer):
+    """Fast feature-based MDN proxy."""
+
+    def __init__(
+        self,
+        *,
+        num_gaussians: int,
+        num_hypotheses: int,
+        seed: int = 0,
+    ):
+        self.network = build_feature_mdn(
+            num_gaussians=num_gaussians,
+            num_hypotheses=num_hypotheses,
+            seed=seed,
+        )
+        self.scaler = FeatureScaler()
+        self._scaler_fitted = False
+        self.hyperparameters = (num_gaussians, num_hypotheses)
+
+    def fit_scaler(self, pixels: np.ndarray) -> None:
+        self.scaler.fit(extract_features(pixels))
+        self._scaler_fitted = True
+
+    def prepare_inputs(self, pixels: np.ndarray) -> np.ndarray:
+        if not self._scaler_fitted:
+            raise NotFittedError("FeatureMDNProxy scaler not fitted")
+        return self.scaler.transform(extract_features(pixels))
+
+    def predict_mixtures(self, pixels: np.ndarray) -> GaussianMixture:
+        return self.network.predict(self.prepare_inputs(pixels))

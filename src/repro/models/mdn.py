@@ -1,0 +1,181 @@
+"""Mixture density network head and Gaussian-mixture utilities.
+
+The CMDN's final layer outputs, per input, the parameters of a
+``g``-component Gaussian mixture: weights ``pi`` (softmax), means
+``mu``, and standard deviations ``sigma`` (softplus, floored). Training
+minimizes the negative log-likelihood of the observed oracle score.
+
+:class:`GaussianMixture` is the library's value type for "a frame's
+score distribution": Phase 1 produces one per retained frame, the
+window model (paper Eq. 9) aggregates their moments, and the uncertain
+relation quantizes them into x-tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.special import logsumexp
+
+from ..errors import ShapeError
+from .layers import Layer, _he_init
+
+#: Floor on component standard deviations for numerical stability.
+SIGMA_FLOOR = 1e-3
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass(frozen=True)
+class GaussianMixture:
+    """A 1-D Gaussian mixture: ``pi`` weights, ``mu`` means, ``sigma`` stds.
+
+    Arrays may be batched: shape ``(..., g)``. All operations broadcast
+    over leading dimensions.
+    """
+
+    pi: np.ndarray
+    mu: np.ndarray
+    sigma: np.ndarray
+
+    def __post_init__(self):
+        if not (self.pi.shape == self.mu.shape == self.sigma.shape):
+            raise ShapeError(
+                f"mixture parameter shapes differ: {self.pi.shape}, "
+                f"{self.mu.shape}, {self.sigma.shape}")
+
+    @property
+    def num_components(self) -> int:
+        return int(self.pi.shape[-1])
+
+    def mean(self) -> np.ndarray:
+        """Mixture mean ``sum_j pi_j mu_j`` (paper: mu-bar)."""
+        return np.sum(self.pi * self.mu, axis=-1)
+
+    def variance(self) -> np.ndarray:
+        """Total variance ``sum_j pi_j (sigma_j^2 + mu_j^2) - mean^2``."""
+        mean = self.mean()
+        second_moment = np.sum(
+            self.pi * (self.sigma ** 2 + self.mu ** 2), axis=-1)
+        return np.maximum(second_moment - mean ** 2, 0.0)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)[..., None]
+        z = (x - self.mu) / self.sigma
+        comp = np.exp(-0.5 * z * z) / (self.sigma * np.sqrt(2 * np.pi))
+        return np.sum(self.pi * comp, axis=-1)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        from scipy.stats import norm
+
+        x = np.asarray(x, dtype=np.float64)[..., None]
+        return np.sum(self.pi * norm.cdf(x, self.mu, self.sigma), axis=-1)
+
+    def log_likelihood(self, y: np.ndarray) -> np.ndarray:
+        """Per-sample log p(y) for batched parameters."""
+        y = np.asarray(y, dtype=np.float64)[..., None]
+        z = (y - self.mu) / self.sigma
+        log_comp = (
+            np.log(np.clip(self.pi, 1e-300, None))
+            - np.log(self.sigma)
+            - 0.5 * (z * z + _LOG_2PI)
+        )
+        return logsumexp(log_comp, axis=-1)
+
+    def select(self, index) -> "GaussianMixture":
+        """Slice batched parameters (e.g. one frame's mixture)."""
+        return GaussianMixture(
+            pi=self.pi[index], mu=self.mu[index], sigma=self.sigma[index])
+
+
+def _softplus(x: np.ndarray) -> np.ndarray:
+    return np.logaddexp(0.0, x)
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class MDNHead(Layer):
+    """Final layer mapping ``h`` features to mixture parameters.
+
+    Produces, per sample, ``g`` logits (-> pi via softmax), ``g`` means,
+    and ``g`` pre-sigmas (-> sigma via softplus + floor). The loss is
+    the mixture NLL; gradients follow the standard responsibility form.
+    """
+
+    def __init__(self, in_features: int, num_components: int, *, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        g = num_components
+        self.in_features = in_features
+        self.num_components = g
+        self.params = {
+            "W": _he_init(rng, in_features, (in_features, 3 * g)),
+            "b": np.zeros(3 * g),
+        }
+        # Spread initial means so components start diverse.
+        self.params["b"][g:2 * g] = np.linspace(-1.0, 1.0, g)
+        # Start sigmas near softplus^-1(1.0).
+        self.params["b"][2 * g:] = 0.54
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._cache: Optional[Tuple] = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        """Return raw ``(N, 3g)`` pre-activations; use :meth:`mixture`."""
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"MDNHead expected (N, {self.in_features}), got {x.shape}")
+        out = x @ self.params["W"] + self.params["b"]
+        if training:
+            self._cache = (x, out)
+        return out
+
+    def mixture(self, raw: np.ndarray) -> GaussianMixture:
+        """Decode raw pre-activations into mixture parameters."""
+        g = self.num_components
+        pi = _softmax(raw[:, :g])
+        mu = raw[:, g:2 * g]
+        sigma = _softplus(raw[:, 2 * g:]) + SIGMA_FLOOR
+        return GaussianMixture(pi=pi, mu=mu, sigma=sigma)
+
+    def nll(self, raw: np.ndarray, y: np.ndarray) -> float:
+        """Mean negative log-likelihood of targets ``y``."""
+        return float(-np.mean(self.mixture(raw).log_likelihood(y)))
+
+    def loss_and_backward(self, y: np.ndarray) -> Tuple[float, np.ndarray]:
+        """NLL of the last *training* forward; returns (loss, grad_x)."""
+        assert self._cache is not None, "call forward(training=True) first"
+        x, raw = self._cache
+        n = raw.shape[0]
+        g = self.num_components
+        mix = self.mixture(raw)
+        y_col = np.asarray(y, dtype=np.float64)[:, None]
+
+        z = (y_col - mix.mu) / mix.sigma
+        log_comp = (
+            np.log(np.clip(mix.pi, 1e-300, None))
+            - np.log(mix.sigma)
+            - 0.5 * (z * z + _LOG_2PI)
+        )
+        log_norm = logsumexp(log_comp, axis=-1, keepdims=True)
+        resp = np.exp(log_comp - log_norm)  # responsibilities gamma
+        loss = float(-np.mean(log_norm))
+
+        # Gradients of mean NLL wrt raw pre-activations.
+        grad_raw = np.empty_like(raw)
+        grad_raw[:, :g] = (mix.pi - resp) / n                # pi logits
+        grad_raw[:, g:2 * g] = (resp * (-z) / mix.sigma) / n  # means
+        # d sigma / d pre-sigma = sigmoid(pre-sigma)
+        pre_sigma = raw[:, 2 * g:]
+        dsigma = 1.0 / (1.0 + np.exp(-pre_sigma))
+        grad_sigma = resp * (1.0 / mix.sigma - z * z / mix.sigma) / n
+        grad_raw[:, 2 * g:] = grad_sigma * dsigma
+
+        self.grads["W"] += x.T @ grad_raw
+        self.grads["b"] += grad_raw.sum(axis=0)
+        return loss, grad_raw @ self.params["W"].T

@@ -1,0 +1,118 @@
+"""Sequential network container with an MDN head.
+
+:class:`MixtureDensityNetwork` chains feature layers (conv stack or
+dense stack) into an :class:`~repro.models.mdn.MDNHead` and exposes:
+
+* :meth:`predict` — mixture parameters for a batch of inputs;
+* :meth:`train_step` — one minibatch NLL gradient step (via optimizer);
+* :meth:`nll` — holdout NLL for model selection (paper Section 3.2).
+
+Target standardization is handled internally: training targets are
+scaled to zero mean / unit variance, and predicted mixtures are mapped
+back to score units, so one architecture works for counts (0..15) and
+continuous scores alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError
+from .layers import Layer
+from .mdn import GaussianMixture, MDNHead
+
+
+class MixtureDensityNetwork:
+    """Feature layers + MDN head with internal target scaling."""
+
+    def __init__(self, layers: Sequence[Layer], head: MDNHead):
+        self.layers: List[Layer] = list(layers)
+        self.head = head
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Parameter plumbing (for optimizers)
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self):
+        """Yield ``(layer, name, array)`` triples for all parameters."""
+        for layer in list(self.layers) + [self.head]:
+            for name, value in layer.params.items():
+                yield layer, name, value
+
+    def zero_grads(self) -> None:
+        for layer in list(self.layers) + [self.head]:
+            layer.zero_grads()
+
+    def num_parameters(self) -> int:
+        return sum(v.size for _, _, v in self.parameters)
+
+    # ------------------------------------------------------------------
+    # Target scaling
+    # ------------------------------------------------------------------
+    def fit_target_scaling(self, y: np.ndarray) -> None:
+        y = np.asarray(y, dtype=np.float64)
+        self._y_mean = float(np.mean(y))
+        scale = float(np.std(y))
+        self._y_scale = scale if scale > 1e-9 else 1.0
+        self._fitted = True
+
+    def _scale_targets(self, y: np.ndarray) -> np.ndarray:
+        return (np.asarray(y, dtype=np.float64) - self._y_mean) / self._y_scale
+
+    # ------------------------------------------------------------------
+    # Forward / training
+    # ------------------------------------------------------------------
+    def _features(self, x: np.ndarray, *, training: bool) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def forward_raw(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        return self.head.forward(
+            self._features(x, training=training), training=training)
+
+    def train_step(self, x: np.ndarray, y: np.ndarray, optimizer) -> float:
+        """One minibatch step; returns the (scaled-target) NLL."""
+        if not self._fitted:
+            raise NotFittedError(
+                "call fit_target_scaling before training")
+        self.zero_grads()
+        self.forward_raw(x, training=True)
+        loss, grad = self.head.loss_and_backward(self._scale_targets(y))
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        optimizer.step(self)
+        return loss
+
+    def predict(self, x: np.ndarray, batch_size: int = 512) -> GaussianMixture:
+        """Mixture parameters in *score units* for a batch of inputs."""
+        if not self._fitted:
+            raise NotFittedError("model has not been trained")
+        x = np.asarray(x, dtype=np.float64)
+        pis, mus, sigmas = [], [], []
+        for start in range(0, x.shape[0], batch_size):
+            chunk = x[start:start + batch_size]
+            mix = self.head.mixture(self.forward_raw(chunk, training=False))
+            pis.append(mix.pi)
+            mus.append(mix.mu * self._y_scale + self._y_mean)
+            sigmas.append(mix.sigma * self._y_scale)
+        if not pis:
+            g = self.head.num_components
+            empty = np.zeros((0, g))
+            return GaussianMixture(empty, empty.copy(), empty.copy())
+        return GaussianMixture(
+            pi=np.concatenate(pis),
+            mu=np.concatenate(mus),
+            sigma=np.concatenate(sigmas),
+        )
+
+    def nll(self, x: np.ndarray, y: np.ndarray, batch_size: int = 512) -> float:
+        """Mean NLL in score units (model-selection criterion)."""
+        mix = self.predict(x, batch_size=batch_size)
+        return float(-np.mean(mix.log_likelihood(np.asarray(y))))

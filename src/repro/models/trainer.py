@@ -1,0 +1,153 @@
+"""Training loop, hyperparameter grid, and holdout model selection.
+
+Paper Section 3.2 / 3.5: Everest trains several CMDNs with different
+``(g, h)`` hyperparameters on oracle-labelled sample frames, evaluates
+each on a holdout set sampled the same way, and keeps the model with
+the smallest negative log-likelihood.
+
+:func:`train_proxy_grid` reproduces that protocol for either proxy
+family and reports per-candidate histories, so callers (Phase 1, the
+breakdown experiment) can charge training cost and log selection.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import Phase1Config
+from ..errors import ConfigurationError
+from .cmdn import ConvMDNProxy, FeatureMDNProxy, ProxyScorer
+from .optim import Adam
+
+
+@dataclass
+class TrainingHistory:
+    """Loss trace of one candidate model."""
+
+    hyperparameters: Tuple[int, int]
+    epoch_losses: List[float] = field(default_factory=list)
+    holdout_nll: float = float("inf")
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class GridResult:
+    """Outcome of the grid search: the winner plus all histories."""
+
+    proxy: ProxyScorer
+    histories: List[TrainingHistory]
+    sample_epochs: int  # total (samples x epochs) across the grid
+
+    @property
+    def best_history(self) -> TrainingHistory:
+        best = min(self.histories, key=lambda h: h.holdout_nll)
+        return best
+
+
+def _iterate_minibatches(
+    rng: np.random.Generator,
+    num_samples: int,
+    batch_size: int,
+):
+    order = rng.permutation(num_samples)
+    for start in range(0, num_samples, batch_size):
+        yield order[start:start + batch_size]
+
+
+def train_network(
+    proxy: ProxyScorer,
+    train_pixels: np.ndarray,
+    train_scores: np.ndarray,
+    *,
+    epochs: int,
+    batch_size: int,
+    learning_rate: float,
+    seed: int = 0,
+) -> List[float]:
+    """Fit one proxy network; returns per-epoch mean NLL (scaled units)."""
+    if len(train_pixels) != len(train_scores):
+        raise ConfigurationError("pixels and scores must align")
+    if len(train_pixels) == 0:
+        raise ConfigurationError("cannot train on an empty sample")
+    if isinstance(proxy, FeatureMDNProxy):
+        proxy.fit_scaler(train_pixels)
+    inputs = proxy.prepare_inputs(train_pixels)
+    network = proxy.network
+    network.fit_target_scaling(train_scores)
+    optimizer = Adam(learning_rate)
+    rng = np.random.default_rng(seed)
+    scores = np.asarray(train_scores, dtype=np.float64)
+
+    losses: List[float] = []
+    for _ in range(epochs):
+        epoch_losses = []
+        for batch in _iterate_minibatches(rng, len(inputs), batch_size):
+            loss = network.train_step(inputs[batch], scores[batch], optimizer)
+            epoch_losses.append(loss)
+        losses.append(float(np.mean(epoch_losses)))
+    return losses
+
+
+def train_proxy_grid(
+    train_pixels: np.ndarray,
+    train_scores: np.ndarray,
+    holdout_pixels: np.ndarray,
+    holdout_scores: np.ndarray,
+    *,
+    config: Phase1Config = Phase1Config(),
+    input_hw: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> GridResult:
+    """Train the ``(g, h)`` grid and keep the smallest-holdout-NLL model.
+
+    ``input_hw`` is required for the conv proxy (when
+    ``config.use_feature_mdn`` is False).
+    """
+    histories: List[TrainingHistory] = []
+    candidates: List[ProxyScorer] = []
+    sample_epochs = 0
+
+    for i, (g, h) in enumerate(config.cmdn_grid):
+        if config.use_feature_mdn:
+            proxy: ProxyScorer = FeatureMDNProxy(
+                num_gaussians=g, num_hypotheses=h, seed=seed + 31 * i)
+        else:
+            if input_hw is None:
+                raise ConfigurationError(
+                    "input_hw required for the conv CMDN")
+            proxy = ConvMDNProxy(
+                input_hw,
+                num_gaussians=g,
+                num_hypotheses=h,
+                seed=seed + 31 * i,
+            )
+        start = time.perf_counter()
+        epoch_losses = train_network(
+            proxy,
+            train_pixels,
+            train_scores,
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+            seed=seed + 7 * i,
+        )
+        history = TrainingHistory(
+            hyperparameters=(g, h),
+            epoch_losses=epoch_losses,
+            holdout_nll=proxy.holdout_nll(holdout_pixels, holdout_scores),
+            wall_seconds=time.perf_counter() - start,
+        )
+        histories.append(history)
+        candidates.append(proxy)
+        sample_epochs += len(train_pixels) * config.epochs
+
+    best_index = int(np.argmin([h.holdout_nll for h in histories]))
+    return GridResult(
+        proxy=candidates[best_index],
+        histories=histories,
+        sample_epochs=sample_epochs,
+    )

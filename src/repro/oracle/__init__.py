@@ -1,0 +1,41 @@
+"""Oracle substrate: simulated deep models, UDFs, tracking, cost model.
+
+The accurate-but-slow "oracle" in the paper is a deep CNN (YOLOv3 for
+counting, a monocular depth estimator for tailgating, a sentimentalizer
+for thumbnails). Here every oracle reveals the simulator's ground truth
+while charging realistic per-frame latency to a :class:`CostModel`
+ledger, so invocation-count economics — the thing the paper's speedups
+measure — are preserved without a GPU.
+"""
+
+from .base import Oracle, ScoringFunction
+from .cost import CostModel, DEFAULT_UNIT_COSTS, scan_cost_seconds
+from .detector import (
+    DetectorErrorModel,
+    SimulatedObjectDetector,
+    counting_udf,
+)
+from .depth import SimulatedDepthEstimator, tailgating_udf
+from .sentiment import SimulatedSentimentalizer, sentiment_udf
+from .tracker import IoUTracker, Track
+from .relation import VideoRelation, VideoTuple, materialize_relation
+
+__all__ = [
+    "Oracle",
+    "ScoringFunction",
+    "CostModel",
+    "DEFAULT_UNIT_COSTS",
+    "scan_cost_seconds",
+    "DetectorErrorModel",
+    "SimulatedObjectDetector",
+    "counting_udf",
+    "SimulatedDepthEstimator",
+    "tailgating_udf",
+    "SimulatedSentimentalizer",
+    "sentiment_udf",
+    "IoUTracker",
+    "Track",
+    "VideoRelation",
+    "VideoTuple",
+    "materialize_relation",
+]

@@ -1,0 +1,157 @@
+"""Simulated-latency cost model.
+
+The paper reports end-to-end wall-clock times on a GTX1080Ti. Without a
+GPU, absolute times are meaningless here, but the paper's *speedups*
+are ratios of per-frame model latencies times invocation counts — which
+we can account exactly. Every component charges its work to a
+:class:`CostModel` ledger using calibrated per-unit latencies
+(:data:`DEFAULT_UNIT_COSTS`, chosen to match the hardware ratios the
+paper reports: a 5 fps oracle, a ~25x faster specialized CMDN, fast
+decode, etc.). Reported "runtime" is then the ledger total, and speedup
+is the ratio of ledger totals — preserving the shape of Figures 4-9 and
+Table 8.
+
+Real wall-clock of the *algorithmic* parts (select-candidate,
+topk-prob) is additionally measured with :meth:`CostModel.timer` and
+added to the total, since those run at native speed in both the paper
+and here.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from ..errors import ConfigurationError
+
+#: Simulated seconds per unit of work, calibrated to the paper's setup.
+DEFAULT_UNIT_COSTS: Dict[str, float] = {
+    # YOLOv3-class oracle at ~5 fps (paper Section 1).
+    "oracle_infer": 0.2,
+    # Depth-estimation oracle (Godard et al.), similar order.
+    "depth_oracle_infer": 0.2,
+    # Specialized CMDN inference (~125 fps on the paper's GPU).
+    "cmdn_infer": 0.008,
+    # CMDN training, per sample per epoch. The paper trains its 12-model
+    # grid on up to 30000 samples in "less than several minutes", which
+    # puts one sample-epoch at roughly a millisecond of GPU time.
+    "cmdn_train": 1.2e-3,
+    # Video decode per frame (Decord, ~3000 fps).
+    "decode": 0.0003,
+    # Difference detector per frame (pixel MSE, vectorized).
+    "diff_detect": 0.0002,
+    # TinyYOLOv3 (~100 fps).
+    "tiny_infer": 0.01,
+    # HOG + SVM over hundreds of sub-windows per frame (slow, CPU).
+    "hog_infer": 0.08,
+    # NoScope-style specialized binary classifier inference.
+    "specialized_infer": 0.008,
+}
+
+
+@dataclass
+class CostEntry:
+    """Accumulated work for one ledger key."""
+
+    units: float = 0.0
+    seconds: float = 0.0
+
+
+class CostModel:
+    """A ledger of simulated latencies plus measured algorithm time."""
+
+    def __init__(self, unit_costs: Optional[Mapping[str, float]] = None):
+        merged = dict(DEFAULT_UNIT_COSTS)
+        if unit_costs:
+            merged.update(unit_costs)
+        for key, value in merged.items():
+            if value < 0:
+                raise ConfigurationError(
+                    f"unit cost for {key!r} must be >= 0, got {value}")
+        self.unit_costs: Dict[str, float] = merged
+        self._entries: Dict[str, CostEntry] = {}
+
+    def _entry(self, key: str) -> CostEntry:
+        return self._entries.setdefault(key, CostEntry())
+
+    def charge(self, key: str, units: float = 1.0) -> float:
+        """Charge ``units`` of work under ``key``; returns seconds added."""
+        if units < 0:
+            raise ConfigurationError("units must be >= 0")
+        per_unit = self.unit_costs.get(key, 0.0)
+        seconds = units * per_unit
+        entry = self._entry(key)
+        entry.units += units
+        entry.seconds += seconds
+        return seconds
+
+    def add_seconds(self, key: str, seconds: float) -> None:
+        """Record measured wall-clock seconds under ``key``."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be >= 0")
+        self._entry(key).seconds += seconds
+
+    @contextmanager
+    def timer(self, key: str) -> Iterator[None]:
+        """Measure a ``with`` block's wall time into ``key``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_seconds(key, time.perf_counter() - start)
+
+    def units(self, key: str) -> float:
+        return self._entries.get(key, CostEntry()).units
+
+    def seconds(self, key: str) -> float:
+        return self._entries.get(key, CostEntry()).seconds
+
+    def total_seconds(self) -> float:
+        return sum(entry.seconds for entry in self._entries.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Seconds per key, sorted descending."""
+        items = sorted(
+            self._entries.items(), key=lambda kv: kv[1].seconds, reverse=True)
+        return {key: entry.seconds for key, entry in items}
+
+    def fractions(self) -> Dict[str, float]:
+        """Share of total seconds per key (empty ledger -> empty dict)."""
+        total = self.total_seconds()
+        if total <= 0:
+            return {}
+        return {k: s / total for k, s in self.breakdown().items()}
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def copy(self) -> "CostModel":
+        clone = CostModel(self.unit_costs)
+        for key, entry in self._entries.items():
+            clone._entries[key] = CostEntry(entry.units, entry.seconds)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{k}={e.seconds:.1f}s" for k, e in self._entries.items())
+        return f"CostModel({parts})"
+
+
+def scan_cost_seconds(
+    num_frames: int,
+    *,
+    oracle_key: str = "oracle_infer",
+    unit_costs: Optional[Mapping[str, float]] = None,
+) -> float:
+    """Simulated cost of the naive scan-and-test baseline.
+
+    Scan decodes and oracle-scores every frame; decoding is sequential
+    and therefore perfectly prefetched (paper Section 3.5), so its cost
+    still counts but never stalls — we model both as pure latency.
+    """
+    costs = dict(DEFAULT_UNIT_COSTS)
+    if unit_costs:
+        costs.update(unit_costs)
+    return num_frames * (costs[oracle_key] + costs["decode"])

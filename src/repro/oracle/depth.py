@@ -1,0 +1,71 @@
+"""Simulated monocular depth estimator and the tailgating UDF.
+
+Stands in for the self-supervised depth estimator (Godard et al.) the
+paper uses in its fleet-management experiment (Section 4.2.5): the
+score of a dashcam frame is how *dangerously close* the lead vehicle
+is. Higher score = more dangerous, so Top-K returns the worst
+tailgating moments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..video.frame import Frame
+from .base import ScoringFunction
+
+
+class SimulatedDepthEstimator:
+    """Per-frame lead-vehicle distance with optional estimation noise."""
+
+    def __init__(self, *, noise_std: float = 0.0, seed: int = 0):
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be >= 0")
+        self.noise_std = noise_std
+        self.seed = seed
+
+    def distance(self, frame: Frame) -> float:
+        true_distance = frame.truth_value("distance")
+        if self.noise_std == 0.0:
+            return float(true_distance)
+        rng = np.random.default_rng((self.seed, frame.index))
+        return float(max(0.1, true_distance + rng.normal(0, self.noise_std)))
+
+    def distances(self, frames: List[Frame]) -> np.ndarray:
+        return np.asarray([self.distance(f) for f in frames], dtype=np.float64)
+
+
+def tailgating_udf(
+    *,
+    max_distance: float = 60.0,
+    quantization_step: float = 0.5,
+    estimator: Optional[SimulatedDepthEstimator] = None,
+    cost_key: str = "depth_oracle_infer",
+) -> ScoringFunction:
+    """Tailgating danger score: ``max_distance - distance``.
+
+    Continuous-valued, so the user supplies ``quantization_step`` as the
+    paper requires for non-counting scoring functions (Section 3.2).
+    """
+    model = estimator or SimulatedDepthEstimator()
+
+    def score_frames(frames: List[Frame]) -> np.ndarray:
+        return np.maximum(0.0, max_distance - model.distances(frames))
+
+    exact_fn = None
+    if estimator is None:
+        def exact_fn(video) -> np.ndarray:
+            distances = video.truth_array("distance")
+            return np.maximum(0.0, max_distance - distances)
+
+    return ScoringFunction(
+        name="tailgating",
+        score_frames=score_frames,
+        cost_key=cost_key,
+        quantization_step=quantization_step,
+        score_floor=0.0,
+        exact_scores_fn=exact_fn,
+    )

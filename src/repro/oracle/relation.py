@@ -1,0 +1,122 @@
+"""The video relation model (paper Table 2).
+
+For analytical processing, video data is modeled as a relation where
+each tuple corresponds to one detected object in one frame:
+``(ts, class, polygon, objectID, content, features)``. A relation fully
+materialized by an accurate detector is the ground truth — and fully
+materializing it is exactly the cost Everest avoids. This module exists
+as the substrate: it can materialize the relation (paying oracle cost
+per frame), answer per-frame aggregates, and back the scan-and-test
+baseline and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..video.frame import BoundingBox
+from ..video.synthetic import SyntheticVideo
+from .cost import CostModel
+from .detector import SimulatedObjectDetector
+from .tracker import IoUTracker
+
+
+@dataclass(frozen=True)
+class VideoTuple:
+    """One row of the video relation (Table 2)."""
+
+    timestamp: float
+    frame_index: int
+    label: str
+    box: BoundingBox
+    object_id: int
+
+
+class VideoRelation:
+    """A (possibly partial) materialization of the video relation."""
+
+    def __init__(self, video_name: str):
+        self.video_name = video_name
+        self.tuples: List[VideoTuple] = []
+        self._frames_seen: set = set()
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def frames_materialized(self) -> int:
+        return len(self._frames_seen)
+
+    def add_frame(
+        self,
+        frame_index: int,
+        timestamp: float,
+        assignments: Sequence[tuple],
+    ) -> None:
+        """Insert the (object_id, box) pairs detected in one frame."""
+        self._frames_seen.add(frame_index)
+        for object_id, box in assignments:
+            self.tuples.append(VideoTuple(
+                timestamp=timestamp,
+                frame_index=frame_index,
+                label=box.label,
+                box=box,
+                object_id=object_id,
+            ))
+
+    def count_per_frame(
+        self, label: Optional[str] = None
+    ) -> Dict[int, int]:
+        """Objects per materialized frame (0 rows -> 0 count)."""
+        counts: Dict[int, int] = {i: 0 for i in self._frames_seen}
+        for row in self.tuples:
+            if label is None or row.label == label:
+                counts[row.frame_index] += 1
+        return counts
+
+    def distinct_objects(self, label: Optional[str] = None) -> int:
+        ids = {
+            row.object_id for row in self.tuples
+            if label is None or row.label == label
+        }
+        return len(ids)
+
+    def object_lifetimes(self) -> Dict[int, int]:
+        """Number of frames each object id appears in."""
+        lifetimes: Dict[int, int] = {}
+        for row in self.tuples:
+            lifetimes[row.object_id] = lifetimes.get(row.object_id, 0) + 1
+        return lifetimes
+
+
+def materialize_relation(
+    video: SyntheticVideo,
+    *,
+    detector: Optional[SimulatedObjectDetector] = None,
+    tracker: Optional[IoUTracker] = None,
+    indices: Optional[Iterable[int]] = None,
+    cost_model: Optional[CostModel] = None,
+    cost_key: str = "oracle_infer",
+) -> VideoRelation:
+    """Materialize (part of) the ground-truth video relation.
+
+    Charges one oracle invocation per materialized frame — this is the
+    expensive operation Everest's two-phase design avoids doing for the
+    whole video.
+    """
+    detector = detector or SimulatedObjectDetector()
+    tracker = tracker or IoUTracker()
+    relation = VideoRelation(video.name)
+    frame_indices = sorted(indices) if indices is not None \
+        else range(len(video))
+    for index in frame_indices:
+        frame = video.frame(index)
+        if cost_model is not None:
+            cost_model.charge(cost_key, 1)
+        detections = detector.detect(frame)
+        assignments = tracker.update(index, detections)
+        relation.add_frame(index, frame.timestamp, assignments)
+    return relation

@@ -1,0 +1,64 @@
+"""Simulated visual sentimentalizer and the thumbnail UDF.
+
+Stands in for Sentribute-style image sentiment models: the score of a
+frame is its happiness in ``[0, 1]``. Used by the thumbnail-generation
+use case from the paper's introduction (Top-10 happiest moments).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..video.frame import Frame
+from .base import ScoringFunction
+
+
+class SimulatedSentimentalizer:
+    """Per-frame happiness score with optional estimation noise."""
+
+    def __init__(self, *, noise_std: float = 0.0, seed: int = 0):
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be >= 0")
+        self.noise_std = noise_std
+        self.seed = seed
+
+    def happiness(self, frame: Frame) -> float:
+        value = frame.truth_value("happiness")
+        if self.noise_std:
+            rng = np.random.default_rng((self.seed, frame.index))
+            value = value + rng.normal(0, self.noise_std)
+        return float(min(1.0, max(0.0, value)))
+
+    def happiness_batch(self, frames: List[Frame]) -> np.ndarray:
+        return np.asarray(
+            [self.happiness(f) for f in frames], dtype=np.float64)
+
+
+def sentiment_udf(
+    *,
+    quantization_step: float = 0.02,
+    model: Optional[SimulatedSentimentalizer] = None,
+    cost_key: str = "oracle_infer",
+) -> ScoringFunction:
+    """Happiness score in ``[0, 1]`` with a user-chosen quantization."""
+    sentimentalizer = model or SimulatedSentimentalizer()
+
+    def score_frames(frames: List[Frame]) -> np.ndarray:
+        return sentimentalizer.happiness_batch(frames)
+
+    exact_fn = None
+    if model is None:
+        def exact_fn(video) -> np.ndarray:
+            return np.clip(video.truth_array("happiness"), 0.0, 1.0)
+
+    return ScoringFunction(
+        name="happiness",
+        score_frames=score_frames,
+        cost_key=cost_key,
+        quantization_step=quantization_step,
+        score_floor=0.0,
+        exact_scores_fn=exact_fn,
+    )

@@ -1,0 +1,41 @@
+"""Video substrate: synthetic videos, dataset registry, difference detection.
+
+The paper evaluates on hours-long real videos decoded with Decord. This
+environment has neither the videos nor a decoder, so the substrate
+provides deterministic, seeded *scene simulators* whose rendered pixels
+are noisy-but-predictive evidence of a ground-truth signal (object
+count, lead-vehicle distance, happiness). See DESIGN.md §1 for why the
+substitution preserves the behaviour Everest's algorithms depend on.
+"""
+
+from .frame import BoundingBox, Frame
+from .synthetic import (
+    DashcamVideo,
+    ObjectCountProcess,
+    SentimentVideo,
+    SyntheticVideo,
+    TrafficVideo,
+)
+from .datasets import DATASETS, DatasetSpec, build_dataset, dataset_table
+from .visual_road import visual_road_video, visual_road_suite
+from .diff import DifferenceDetector, DiffResult
+from .reader import VideoReader
+
+__all__ = [
+    "BoundingBox",
+    "Frame",
+    "ObjectCountProcess",
+    "SyntheticVideo",
+    "TrafficVideo",
+    "DashcamVideo",
+    "SentimentVideo",
+    "DATASETS",
+    "DatasetSpec",
+    "build_dataset",
+    "dataset_table",
+    "visual_road_video",
+    "visual_road_suite",
+    "DifferenceDetector",
+    "DiffResult",
+    "VideoReader",
+]

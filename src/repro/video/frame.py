@@ -1,0 +1,87 @@
+"""Frame and bounding-box value objects.
+
+A :class:`Frame` couples a frame index with its rendered pixels and the
+simulator's ground-truth annotations. Ground truth is carried on the
+frame for the *oracle substrate only* — Everest's query pipeline never
+reads it directly; it must pay the simulated oracle cost to observe it
+(see :mod:`repro.oracle`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box in pixel coordinates, ``(x, y)`` = top-left."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+    label: str = "object"
+
+    @property
+    def area(self) -> float:
+        return max(self.width, 0.0) * max(self.height, 0.0)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.width / 2.0, self.y + self.height / 2.0)
+
+    def intersection(self, other: "BoundingBox") -> float:
+        """Area of overlap with ``other`` (0.0 when disjoint)."""
+        left = max(self.x, other.x)
+        top = max(self.y, other.y)
+        right = min(self.x + self.width, other.x + other.width)
+        bottom = min(self.y + self.height, other.y + other.height)
+        if right <= left or bottom <= top:
+            return 0.0
+        return (right - left) * (bottom - top)
+
+    def iou(self, other: "BoundingBox") -> float:
+        """Intersection-over-union with ``other`` in ``[0, 1]``."""
+        inter = self.intersection(other)
+        union = self.area + other.area - inter
+        if union <= 0.0:
+            return 0.0
+        return inter / union
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One video frame: pixels plus simulator ground truth.
+
+    Attributes
+    ----------
+    index:
+        Zero-based frame number within its video.
+    pixels:
+        Grayscale image as a ``(H, W)`` float array in ``[0, 1]``.
+    timestamp:
+        Seconds from the start of the video.
+    truth:
+        Ground-truth scalar signals (``"count"``, ``"distance"``,
+        ``"happiness"``, ...). Only oracles should read this.
+    objects:
+        Ground-truth bounding boxes for the objects present.
+    """
+
+    index: int
+    pixels: np.ndarray
+    timestamp: float = 0.0
+    truth: Dict[str, float] = field(default_factory=dict)
+    objects: List[BoundingBox] = field(default_factory=list)
+
+    @property
+    def resolution(self) -> Tuple[int, int]:
+        """The ``(height, width)`` of the pixel array."""
+        return (int(self.pixels.shape[0]), int(self.pixels.shape[1]))
+
+    def truth_value(self, key: str) -> float:
+        """Return a ground-truth signal, raising ``KeyError`` if absent."""
+        return self.truth[key]

@@ -1,0 +1,561 @@
+"""Deterministic, seeded scene simulators standing in for real videos.
+
+Everest's pipeline needs three things from a video (see DESIGN.md §1):
+
+1. pixels that are *predictive but noisy* evidence of the ground-truth
+   score, so a learned proxy produces calibrated, imperfect
+   distributions;
+2. an expensive oracle signal per frame (object count, lead-vehicle
+   distance, happiness);
+3. temporal locality, so the difference detector and tumbling windows
+   behave like they do on real footage.
+
+Each simulator here renders small grayscale frames on demand (random
+access, no decode order constraint) from a per-video latent process
+generated eagerly at construction. All randomness derives from the
+constructor ``seed``; rendering frame ``i`` twice yields identical
+pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import signal as _signal
+
+from ..errors import ConfigurationError, FrameIndexError
+from .frame import BoundingBox, Frame
+
+
+class ObjectCountProcess:
+    """Integer object-count process with diurnal bursts.
+
+    The latent intensity is a sum of a base level and Gaussian "rush
+    hour" bumps; an AR(1) perturbation adds local variability. Counts
+    are the rounded, clipped intensity. The result has strong temporal
+    autocorrelation and a heavy right tail — peak frames are rare, which
+    is exactly the regime where Top-K beats a full scan.
+    """
+
+    def __init__(
+        self,
+        num_frames: int,
+        *,
+        base_level: float = 1.0,
+        num_bursts: int = 4,
+        burst_amplitude: float = 6.0,
+        burst_width_fraction: float = 0.02,
+        ar_coefficient: float = 0.995,
+        noise_scale: float = 0.15,
+        max_objects: int = 12,
+        seed: int = 0,
+    ):
+        if num_frames < 1:
+            raise ConfigurationError("num_frames must be >= 1")
+        if not 0.0 <= ar_coefficient < 1.0:
+            raise ConfigurationError("ar_coefficient must be in [0, 1)")
+        if max_objects < 1:
+            raise ConfigurationError("max_objects must be >= 1")
+        self.num_frames = num_frames
+        self.max_objects = max_objects
+        rng = np.random.default_rng(seed)
+
+        t = np.arange(num_frames, dtype=np.float64)
+        intensity = np.full(num_frames, base_level, dtype=np.float64)
+        width = max(2.0, burst_width_fraction * num_frames)
+        for _ in range(num_bursts):
+            center = rng.uniform(0.05, 0.95) * num_frames
+            amplitude = burst_amplitude * rng.uniform(0.5, 1.0)
+            intensity += amplitude * np.exp(-0.5 * ((t - center) / width) ** 2)
+
+        # AR(1) perturbation, vectorized through an IIR filter.
+        eps = rng.normal(0.0, noise_scale, size=num_frames)
+        perturbation = _signal.lfilter([1.0], [1.0, -ar_coefficient], eps)
+
+        counts = np.rint(intensity + perturbation)
+        self.counts = np.clip(counts, 0, max_objects).astype(np.int64)
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __getitem__(self, index: int) -> int:
+        return int(self.counts[index])
+
+
+class SyntheticVideo:
+    """Base class: a fixed-length, randomly accessible synthetic video.
+
+    Subclasses implement :meth:`_render` (latent state -> pixels) and
+    :meth:`_truth` (latent state -> ground-truth dict), and expose a
+    :attr:`signal_key` naming the scalar an oracle would extract.
+    """
+
+    #: Name of the primary ground-truth signal (e.g. ``"count"``).
+    signal_key: str = "signal"
+
+    def __init__(
+        self,
+        name: str,
+        num_frames: int,
+        *,
+        resolution: Tuple[int, int] = (24, 24),
+        fps: float = 30.0,
+        noise_level: float = 0.004,
+        seed: int = 0,
+    ):
+        if num_frames < 1:
+            raise ConfigurationError("num_frames must be >= 1")
+        if resolution[0] < 4 or resolution[1] < 4:
+            raise ConfigurationError("resolution must be at least 4x4")
+        if fps <= 0:
+            raise ConfigurationError("fps must be positive")
+        self.name = name
+        self.num_frames = num_frames
+        self.resolution = (int(resolution[0]), int(resolution[1]))
+        self.fps = float(fps)
+        self.noise_level = float(noise_level)
+        self.seed = int(seed)
+        height, width = self.resolution
+        # Static background with a gentle gradient; shared by all frames.
+        yy, xx = np.mgrid[0:height, 0:width]
+        self._background = (
+            0.15 + 0.05 * (yy / max(height - 1, 1))
+        ).astype(np.float64)
+        self._grid = (yy.astype(np.float64), xx.astype(np.float64))
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def _render(self, index: int) -> np.ndarray:
+        """Return the noiseless scene for frame ``index``."""
+        raise NotImplementedError
+
+    def _truth(self, index: int) -> dict:
+        """Return the ground-truth signal dict for frame ``index``."""
+        raise NotImplementedError
+
+    def _objects(self, index: int) -> List[BoundingBox]:
+        """Return ground-truth boxes; default none."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __iter__(self) -> Iterator[Frame]:
+        for i in range(self.num_frames):
+            yield self.frame(i)
+
+    def _check_index(self, index: int) -> int:
+        index = int(index)
+        if index < 0 or index >= self.num_frames:
+            raise FrameIndexError(index, self.num_frames)
+        return index
+
+    def pixels(self, index: int) -> np.ndarray:
+        """Render frame ``index`` as a ``(H, W)`` float array in [0, 1]."""
+        index = self._check_index(index)
+        scene = self._render(index)
+        noise_rng = np.random.default_rng((self.seed, index, 0x5EED))
+        noisy = scene + noise_rng.normal(0.0, self.noise_level, scene.shape)
+        return np.clip(noisy, 0.0, 1.0)
+
+    def batch_pixels(self, indices: Iterable[int]) -> np.ndarray:
+        """Render several frames into an ``(N, H, W)`` float32 array."""
+        frames = [self.pixels(i) for i in indices]
+        if not frames:
+            height, width = self.resolution
+            return np.zeros((0, height, width), dtype=np.float32)
+        return np.stack(frames).astype(np.float32)
+
+    def frame(self, index: int) -> Frame:
+        """Return the full :class:`Frame` (pixels + ground truth)."""
+        index = self._check_index(index)
+        return Frame(
+            index=index,
+            pixels=self.pixels(index),
+            timestamp=index / self.fps,
+            truth=self._truth(index),
+            objects=self._objects(index),
+        )
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frame(index)
+
+    def objects(self, index: int) -> List[BoundingBox]:
+        """Ground-truth boxes for frame ``index`` without rendering it."""
+        return self._objects(self._check_index(index))
+
+    def truth_array(self, key: Optional[str] = None) -> np.ndarray:
+        """Ground-truth signal for every frame as one array.
+
+        Intended for oracles and for metric computation only; the query
+        pipeline must access ground truth through an oracle so that the
+        cost model charges for it.
+        """
+        key = key or self.signal_key
+        return np.asarray(
+            [self._truth(i)[key] for i in range(self.num_frames)],
+            dtype=np.float64,
+        )
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.num_frames / self.fps
+
+
+def _blob(grid, cx: float, cy: float, sigma: float, amplitude: float):
+    """A Gaussian intensity blob centred at ``(cx, cy)``."""
+    yy, xx = grid
+    return amplitude * np.exp(
+        -((xx - cx) ** 2 + (yy - cy) ** 2) / (2.0 * sigma * sigma)
+    )
+
+
+class TrafficVideo(SyntheticVideo):
+    """A fixed-camera street scene whose score is the object count.
+
+    ``max_objects`` slots carry smoothly moving objects; slot ``j`` is
+    visible in frame ``t`` iff ``j < counts[t]``, so the visible count
+    follows :class:`ObjectCountProcess` while motion stays continuous.
+
+    Real 1080p footage confounds learned proxies far more than clean
+    blobs would, so three realism confounders are on by default:
+
+    * slow global *illumination drift* (time of day, clouds) whose
+      brightness contribution rivals an object's;
+    * *distractor* objects of a different class that are rendered but
+      never counted (pedestrians in a car-counting query);
+    * per-object *contrast variation* (some objects are faint).
+
+    They make pixel evidence genuinely ambiguous — the regime in which
+    the paper's comparisons between Everest and proxy-only baselines
+    were run.
+    """
+
+    signal_key = "count"
+
+    def __init__(
+        self,
+        name: str = "traffic",
+        num_frames: int = 3_000,
+        *,
+        object_label: str = "car",
+        resolution: Tuple[int, int] = (24, 24),
+        fps: float = 30.0,
+        noise_level: float = 0.004,
+        seed: int = 0,
+        count_process: Optional[ObjectCountProcess] = None,
+        illumination_amplitude: float = 0.10,
+        distractor_mean: float = 1.5,
+        **count_kwargs,
+    ):
+        super().__init__(
+            name,
+            num_frames,
+            resolution=resolution,
+            fps=fps,
+            noise_level=noise_level,
+            seed=seed,
+        )
+        self.object_label = object_label
+        if count_process is None:
+            count_process = ObjectCountProcess(
+                num_frames, seed=seed ^ 0xC0FFEE, **count_kwargs
+            )
+        if len(count_process) != num_frames:
+            raise ConfigurationError(
+                "count_process length must equal num_frames")
+        self.count_process = count_process
+        self.counts = count_process.counts
+
+        max_objects = count_process.max_objects
+        rng = np.random.default_rng((seed, 0xB10B))
+        height, width = self.resolution
+        # Per-slot trajectory parameters: objects drift across the scene
+        # on low-frequency Lissajous paths, giving smooth inter-frame
+        # motion (essential for the difference detector).
+        self._speed_x = rng.uniform(0.02, 0.12, max_objects) / fps
+        self._speed_y = rng.uniform(0.02, 0.12, max_objects) / fps
+        self._phase_x = rng.uniform(0.0, 2 * np.pi, max_objects)
+        self._phase_y = rng.uniform(0.0, 2 * np.pi, max_objects)
+        self._amplitude = rng.uniform(0.55, 0.85, max_objects)
+        self._contrast = rng.uniform(0.30, 0.70, max_objects)
+        self._sigma = max(1.2, min(height, width) / 14.0)
+        self._width = width
+        self._height = height
+
+        # Illumination drift: slow sinusoid plus an OU wobble.
+        drift_period = max(600.0, num_frames / 4.0)
+        t = np.arange(num_frames, dtype=np.float64)
+        drift_phase = rng.uniform(0.0, 2 * np.pi)
+        self._illumination = illumination_amplitude * (
+            np.sin(2 * np.pi * t / drift_period + drift_phase)
+            + 0.5 * _ou_process(
+                num_frames, mean=0.0, reversion=0.01,
+                volatility=0.02, seed=seed ^ 0x111)
+        )
+
+        # Distractors: a second object population never counted.
+        if distractor_mean > 0:
+            distractors = ObjectCountProcess(
+                num_frames,
+                base_level=distractor_mean,
+                burst_amplitude=2.0 * distractor_mean,
+                num_bursts=3,
+                max_objects=max(2, int(np.ceil(3 * distractor_mean))),
+                seed=seed ^ 0xD157,
+            )
+            self.distractor_counts = distractors.counts
+            m = distractors.max_objects
+            drng = np.random.default_rng((seed, 0xD157))
+            self._d_speed_x = drng.uniform(0.02, 0.12, m) / fps
+            self._d_speed_y = drng.uniform(0.02, 0.12, m) / fps
+            self._d_phase_x = drng.uniform(0.0, 2 * np.pi, m)
+            self._d_phase_y = drng.uniform(0.0, 2 * np.pi, m)
+            self._d_amplitude = drng.uniform(0.55, 0.85, m)
+            self._d_contrast = drng.uniform(0.30, 0.70, m)
+        else:
+            self.distractor_counts = np.zeros(num_frames, dtype=np.int64)
+
+    def _positions(self, index: int, active: int) -> np.ndarray:
+        """Centres of the ``active`` visible objects at frame ``index``."""
+        j = np.arange(active)
+        cx = self._width * 0.5 * (
+            1.0
+            + self._amplitude[j]
+            * np.sin(2 * np.pi * self._speed_x[j] * index + self._phase_x[j])
+        )
+        cy = self._height * 0.5 * (
+            1.0
+            + self._amplitude[j]
+            * np.sin(2 * np.pi * self._speed_y[j] * index + self._phase_y[j])
+        )
+        return np.stack([cx, cy], axis=1)
+
+    def _distractor_positions(self, index: int, active: int) -> np.ndarray:
+        j = np.arange(active)
+        cx = self._width * 0.5 * (
+            1.0
+            + self._d_amplitude[j]
+            * np.sin(2 * np.pi * self._d_speed_x[j] * index
+                     + self._d_phase_x[j])
+        )
+        cy = self._height * 0.5 * (
+            1.0
+            + self._d_amplitude[j]
+            * np.sin(2 * np.pi * self._d_speed_y[j] * index
+                     + self._d_phase_y[j])
+        )
+        return np.stack([cx, cy], axis=1)
+
+    def _render(self, index: int) -> np.ndarray:
+        scene = self._background + self._illumination[index]
+        active = int(self.counts[index])
+        if active:
+            for j, (cx, cy) in enumerate(self._positions(index, active)):
+                scene = scene + _blob(
+                    self._grid, cx, cy, self._sigma, self._contrast[j])
+        n_distract = int(self.distractor_counts[index])
+        if n_distract:
+            positions = self._distractor_positions(index, n_distract)
+            for j, (cx, cy) in enumerate(positions):
+                scene = scene + _blob(
+                    self._grid, cx, cy, self._sigma, self._d_contrast[j])
+        return scene
+
+    def _truth(self, index: int) -> dict:
+        return {"count": float(self.counts[index])}
+
+    def _objects(self, index: int) -> List[BoundingBox]:
+        active = int(self.counts[index])
+        radius = 2.0 * self._sigma
+        boxes = [
+            BoundingBox(
+                x=float(cx - radius),
+                y=float(cy - radius),
+                width=float(2 * radius),
+                height=float(2 * radius),
+                label=self.object_label,
+            )
+            for cx, cy in self._positions(index, active)
+        ]
+        n_distract = int(self.distractor_counts[index])
+        if n_distract:
+            distractor_label = "person" if self.object_label != "person" \
+                else "car"
+            boxes.extend(
+                BoundingBox(
+                    x=float(cx - radius),
+                    y=float(cy - radius),
+                    width=float(2 * radius),
+                    height=float(2 * radius),
+                    label=distractor_label,
+                )
+                for cx, cy in self._distractor_positions(index, n_distract)
+            )
+        return boxes
+
+    def true_count(self, index: int) -> int:
+        return int(self.counts[self._check_index(index)])
+
+
+def _ou_process(
+    num_frames: int,
+    *,
+    mean: float,
+    reversion: float,
+    volatility: float,
+    seed: int,
+) -> np.ndarray:
+    """Ornstein-Uhlenbeck path sampled once per frame (vectorized)."""
+    rng = np.random.default_rng(seed)
+    eps = rng.normal(0.0, volatility, num_frames)
+    deviations = _signal.lfilter([1.0], [1.0, -(1.0 - reversion)], eps)
+    return mean + deviations
+
+
+class DashcamVideo(SyntheticVideo):
+    """A dashcam scene scored by distance to the lead vehicle.
+
+    The lead-vehicle distance follows a mean-reverting process with
+    occasional close-approach episodes (tailgating). The rendered
+    vehicle blob grows as distance shrinks, so pixels predict distance.
+    """
+
+    signal_key = "distance"
+
+    def __init__(
+        self,
+        name: str = "dashcam",
+        num_frames: int = 3_000,
+        *,
+        resolution: Tuple[int, int] = (24, 24),
+        fps: float = 30.0,
+        noise_level: float = 0.004,
+        mean_distance: float = 30.0,
+        min_distance: float = 2.0,
+        max_distance: float = 60.0,
+        num_episodes: int = 5,
+        seed: int = 0,
+    ):
+        super().__init__(
+            name,
+            num_frames,
+            resolution=resolution,
+            fps=fps,
+            noise_level=noise_level,
+            seed=seed,
+        )
+        if not min_distance < mean_distance < max_distance:
+            raise ConfigurationError(
+                "require min_distance < mean_distance < max_distance")
+        base = _ou_process(
+            num_frames,
+            mean=mean_distance,
+            reversion=0.005,
+            volatility=0.35,
+            seed=seed ^ 0xD15,
+        )
+        # Close-approach episodes: smooth negative bumps toward the
+        # minimum distance, the "dangerous tailgating moments".
+        rng = np.random.default_rng((seed, 0xE915))
+        t = np.arange(num_frames, dtype=np.float64)
+        width = max(3.0, 0.01 * num_frames)
+        for _ in range(num_episodes):
+            center = rng.uniform(0.05, 0.95) * num_frames
+            depth = rng.uniform(0.6, 1.0) * (mean_distance - min_distance)
+            base -= depth * np.exp(-0.5 * ((t - center) / width) ** 2)
+        # High-frequency jitter (road vibration, estimator noise): real
+        # per-frame depth estimates are not silky smooth, and this
+        # frame-level texture is what makes a frame-granular Top-K
+        # well-posed.
+        jitter = _ou_process(
+            num_frames, mean=0.0, reversion=0.5, volatility=0.35,
+            seed=seed ^ 0x7177)
+        self.distances = np.clip(
+            base + jitter, min_distance, max_distance)
+        self.min_distance = min_distance
+        self.max_distance = max_distance
+        height, width_px = self.resolution
+        self._cx = width_px / 2.0
+        self._cy = height * 0.6
+        # Scrolling road/scenery texture: dashcam footage is never
+        # static, so consecutive frames genuinely differ and the
+        # difference detector keeps per-frame resolution.
+        self._scroll_speed = 0.8  # pixels per frame
+        self._texture_period = max(4.0, height / 4.0)
+
+    def _render(self, index: int) -> np.ndarray:
+        scene = self._background.copy()
+        yy, _ = self._grid
+        phase = 2 * np.pi * (
+            yy + self._scroll_speed * index) / self._texture_period
+        scene = scene + 0.05 * np.sin(phase)
+        distance = float(self.distances[index])
+        # Apparent size scales inversely with distance.
+        sigma = max(0.8, 18.0 / distance) * min(self.resolution) / 24.0
+        scene = scene + _blob(self._grid, self._cx, self._cy, sigma, 0.7)
+        return scene
+
+    def _truth(self, index: int) -> dict:
+        return {"distance": float(self.distances[index])}
+
+    def true_distance(self, index: int) -> float:
+        return float(self.distances[self._check_index(index)])
+
+
+class SentimentVideo(SyntheticVideo):
+    """A vlog-like video scored by per-frame happiness in ``[0, 1]``.
+
+    Happiness is a logistic-squashed OU path; rendering maps happiness
+    to overall brightness plus a fixed "face" pattern whose intensity
+    tracks the signal, so pixels predict the score.
+    """
+
+    signal_key = "happiness"
+
+    def __init__(
+        self,
+        name: str = "vlog",
+        num_frames: int = 3_000,
+        *,
+        resolution: Tuple[int, int] = (24, 24),
+        fps: float = 30.0,
+        noise_level: float = 0.004,
+        seed: int = 0,
+    ):
+        super().__init__(
+            name,
+            num_frames,
+            resolution=resolution,
+            fps=fps,
+            noise_level=noise_level,
+            seed=seed,
+        )
+        latent = _ou_process(
+            num_frames,
+            mean=0.0,
+            reversion=0.004,
+            volatility=0.08,
+            seed=seed ^ 0x5E17,
+        )
+        self.happiness = 1.0 / (1.0 + np.exp(-latent))
+        height, width = self.resolution
+        self._pattern = _blob(
+            self._grid, width * 0.5, height * 0.4,
+            max(1.5, min(height, width) / 8.0), 1.0,
+        )
+
+    def _render(self, index: int) -> np.ndarray:
+        h = float(self.happiness[index])
+        return self._background + 0.25 * h + 0.4 * h * self._pattern
+
+    def _truth(self, index: int) -> dict:
+        return {"happiness": float(self.happiness[index])}
+
+    def true_happiness(self, index: int) -> float:
+        return float(self.happiness[self._check_index(index)])

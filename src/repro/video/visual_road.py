@@ -1,0 +1,121 @@
+"""Visual-Road-style synthetic benchmark videos (paper Section 4.2.4).
+
+The paper uses the Visual Road benchmark to control the *total number of
+cars* in an otherwise identical scene, which is impossible with real
+footage. We mirror that protocol: :func:`visual_road_suite` produces a
+family of videos sharing one camera/scene seed where only the car
+population differs (paper: 50 to 250 cars in the mini-city).
+
+The paper could only generate 15-minute clips stably and concatenated
+40 of them into each ten-hour video; we reproduce the concatenation by
+re-seeding the count process per clip while keeping the scene constant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .synthetic import ObjectCountProcess, TrafficVideo
+
+#: The paper's car-population sweep.
+PAPER_DENSITIES: Tuple[int, ...] = (50, 100, 150, 200, 250)
+
+#: Number of concatenated clips per video (paper: 40 x 15 minutes).
+PAPER_NUM_CLIPS = 40
+
+
+class _ConcatenatedCountProcess(ObjectCountProcess):
+    """Counts formed by concatenating independently seeded clips."""
+
+    def __init__(
+        self,
+        num_frames: int,
+        *,
+        num_clips: int,
+        seed: int,
+        max_objects: int,
+        **kwargs,
+    ):
+        if num_clips < 1:
+            raise ConfigurationError("num_clips must be >= 1")
+        # Build via the parent to validate args, then overwrite counts.
+        super().__init__(
+            num_frames, seed=seed, max_objects=max_objects, **kwargs)
+        clip_len = max(1, num_frames // num_clips)
+        pieces: List[np.ndarray] = []
+        produced = 0
+        clip_index = 0
+        while produced < num_frames:
+            length = min(clip_len, num_frames - produced)
+            clip = ObjectCountProcess(
+                length,
+                seed=(seed, clip_index),
+                max_objects=max_objects,
+                **kwargs,
+            )
+            pieces.append(clip.counts)
+            produced += length
+            clip_index += 1
+        self.counts = np.concatenate(pieces)[:num_frames]
+
+
+def visual_road_video(
+    total_cars: int,
+    *,
+    num_frames: int = 10_000,
+    resolution: Tuple[int, int] = (24, 24),
+    fps: float = 30.0,
+    scene_seed: int = 7,
+    num_clips: int = PAPER_NUM_CLIPS,
+) -> TrafficVideo:
+    """One Visual-Road-style video with ``total_cars`` in the mini-city.
+
+    Only a fraction of the city's cars pass the fixed camera at any
+    moment; the per-frame visible count scales with the population
+    while the camera, angle, and object trajectories (``scene_seed``)
+    stay identical across the sweep, as in the paper.
+    """
+    if total_cars < 1:
+        raise ConfigurationError("total_cars must be >= 1")
+    visible_mean = total_cars / 50.0  # ~1 visible car per 50 in the city
+    max_visible = max(4, int(np.ceil(visible_mean * 4)))
+    counts = _ConcatenatedCountProcess(
+        num_frames,
+        num_clips=num_clips,
+        seed=scene_seed ^ (total_cars * 2654435761),
+        base_level=visible_mean,
+        burst_amplitude=2.0 * visible_mean,
+        num_bursts=5,
+        max_objects=max_visible,
+    )
+    return TrafficVideo(
+        f"visual-road-{total_cars}",
+        num_frames,
+        object_label="car",
+        resolution=resolution,
+        fps=fps,
+        seed=scene_seed,  # same scene/camera for every density
+        count_process=counts,
+    )
+
+
+def visual_road_suite(
+    densities: Sequence[int] = PAPER_DENSITIES,
+    *,
+    num_frames: int = 10_000,
+    resolution: Tuple[int, int] = (24, 24),
+    scene_seed: int = 7,
+) -> List[TrafficVideo]:
+    """The full density sweep used by Figure 8."""
+    return [
+        visual_road_video(
+            cars,
+            num_frames=num_frames,
+            resolution=resolution,
+            scene_seed=scene_seed,
+        )
+        for cars in densities
+    ]

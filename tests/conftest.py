@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (videos, trained proxies, Phase 1 runs) are
+session-scoped so the suite stays fast while every module gets
+realistic inputs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Allow test modules to import shared helpers from this directory
+# (``from conftest import make_relation``) regardless of rootdir.
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.config import EverestConfig, Phase1Config
+from repro.core.uncertain import QuantizationGrid, UncertainRelation
+from repro.models import train_proxy_grid
+from repro.oracle import CostModel, Oracle, counting_udf
+from repro.video import DashcamVideo, SentimentVideo, TrafficVideo
+
+
+@pytest.fixture(scope="session")
+def traffic_video() -> TrafficVideo:
+    """A small but realistic counting video."""
+    return TrafficVideo("fixture-traffic", 1_500, seed=42)
+
+
+@pytest.fixture(scope="session")
+def dashcam_video() -> DashcamVideo:
+    return DashcamVideo("fixture-dashcam", 1_000, seed=43)
+
+
+@pytest.fixture(scope="session")
+def sentiment_video() -> SentimentVideo:
+    return SentimentVideo("fixture-vlog", 800, seed=44)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> EverestConfig:
+    return EverestConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def trained_proxy(traffic_video):
+    """A trained FeatureMDN proxy on the traffic fixture."""
+    rng = np.random.default_rng(0)
+    train_idx = rng.choice(len(traffic_video), 250, replace=False)
+    holdout_idx = rng.choice(len(traffic_video), 80, replace=False)
+    grid = train_proxy_grid(
+        traffic_video.batch_pixels(train_idx),
+        traffic_video.counts[train_idx],
+        traffic_video.batch_pixels(holdout_idx),
+        traffic_video.counts[holdout_idx],
+        config=Phase1Config(cmdn_grid=((3, 16),), epochs=25),
+    )
+    return grid.proxy
+
+
+def make_relation(pmfs, certain=None, step=1.0, floor=0.0):
+    """Build a small hand-specified relation for algorithm tests.
+
+    ``pmfs`` is a list of probability vectors (will be padded to a
+    common length); ``certain`` maps position -> exact score.
+    """
+    num_levels = max(len(p) for p in pmfs)
+    matrix = np.zeros((len(pmfs), num_levels))
+    for i, p in enumerate(pmfs):
+        matrix[i, : len(p)] = p
+        matrix[i] /= matrix[i].sum()
+    grid = QuantizationGrid(floor=floor, step=step, num_levels=num_levels)
+    relation = UncertainRelation(np.arange(len(pmfs)), matrix, grid)
+    for position, score in (certain or {}).items():
+        relation.mark_certain(position, score)
+    return relation
+
+
+@pytest.fixture
+def tiny_relation():
+    """Table 1a from the paper: three frames, three count levels."""
+    return make_relation([
+        [0.78, 0.21, 0.01],
+        [0.49, 0.42, 0.09],
+        [0.16, 0.48, 0.36],
+    ])
+
+
+@pytest.fixture
+def counting_oracle(traffic_video):
+    return Oracle(counting_udf("car"), CostModel())

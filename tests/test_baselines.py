@@ -1,0 +1,142 @@
+"""Tests for the Section 4 baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    calibrated_select_and_topk,
+    cmdn_only_topk,
+    hog_topk,
+    scan_and_test,
+    select_and_topk,
+    tiny_topk,
+)
+from repro.baselines.hog import HogCounter, hog_cells, window_descriptors
+from repro.errors import ConfigurationError, NotFittedError
+from repro.metrics import evaluate_answer
+from repro.oracle import counting_udf
+
+
+class TestScanAndTest:
+    def test_answer_is_exact(self, traffic_video):
+        result = scan_and_test(traffic_video, counting_udf("car"), 5)
+        truth = traffic_video.counts.astype(float)
+        metrics = evaluate_answer(result.answer_ids, truth, 5)
+        assert metrics.precision == 1.0
+        assert metrics.score_error == 0.0
+
+    def test_cost_is_full_scan(self, traffic_video):
+        result = scan_and_test(traffic_video, counting_udf("car"), 5)
+        expected = len(traffic_video) * (0.2 + 0.0003)
+        assert result.simulated_seconds == pytest.approx(expected)
+
+    def test_descending_scores(self, traffic_video):
+        result = scan_and_test(traffic_video, counting_udf("car"), 10)
+        assert result.answer_scores == sorted(
+            result.answer_scores, reverse=True)
+
+
+class TestHog:
+    def test_cells_shape(self, traffic_video):
+        cells = hog_cells(traffic_video.batch_pixels([0, 1]))
+        assert cells.shape == (2, 6, 6, 9)
+
+    def test_descriptors_normalized(self, traffic_video):
+        descriptors, centers = window_descriptors(
+            traffic_video.batch_pixels([0]))
+        norms = np.linalg.norm(descriptors[0], axis=1)
+        assert (norms <= 1.0 + 1e-9).all()
+        assert centers.shape[0] == descriptors.shape[1]
+
+    def test_counter_requires_fit(self, traffic_video):
+        with pytest.raises(NotFittedError):
+            HogCounter().count_batch(traffic_video.batch_pixels([0]))
+
+    def test_hog_counts_correlate_weakly(self, traffic_video):
+        """HOG should carry *some* signal but be visibly noisy."""
+        rng = np.random.default_rng(0)
+        train = rng.choice(len(traffic_video), 150, replace=False)
+        counter = HogCounter()
+        counter.fit(traffic_video, train)
+        idx = np.arange(0, len(traffic_video), 10)
+        counts = counter.count_batch(traffic_video.batch_pixels(idx))
+        errors = counts - traffic_video.counts[idx]
+        assert np.abs(errors).mean() > 0.3, "HOG should be noticeably noisy"
+
+    def test_topk_runs_and_is_slower_than_everest_cost(self, traffic_video):
+        result = hog_topk(traffic_video, 5, min_train=100)
+        assert len(result.answer_ids) == 5
+        # 0.08s per frame + decode.
+        assert result.simulated_seconds == pytest.approx(
+            len(traffic_video) * 0.0803)
+
+    def test_rejects_bad_fraction(self, traffic_video):
+        with pytest.raises(ConfigurationError):
+            hog_topk(traffic_video, 5, train_fraction=0.0)
+
+
+class TestTiny:
+    def test_fast_but_inaccurate(self, traffic_video):
+        result = tiny_topk(traffic_video, 10, object_label="car")
+        truth = traffic_video.counts.astype(float)
+        metrics = evaluate_answer(result.answer_ids, truth, 10)
+        # Cheap: 0.01s + decode per frame.
+        assert result.simulated_seconds == pytest.approx(
+            len(traffic_video) * 0.0103)
+        # Noisy: never better than oracle, typically much worse.
+        assert metrics.score_error > 0.0
+
+    def test_deterministic(self, traffic_video):
+        a = tiny_topk(traffic_video, 5, object_label="car")
+        b = tiny_topk(traffic_video, 5, object_label="car")
+        assert a.answer_ids == b.answer_ids
+
+
+class TestCmdnOnly:
+    def test_runs_and_is_cheap(self, traffic_video, fast_config):
+        result = cmdn_only_topk(
+            traffic_video, counting_udf("car"), 5, config=fast_config)
+        assert len(result.answer_ids) == 5
+        scan = len(traffic_video) * 0.2003
+        assert result.simulated_seconds < scan
+
+    def test_ranked_by_expected_score(self, traffic_video, fast_config):
+        result = cmdn_only_topk(
+            traffic_video, counting_udf("car"), 5, config=fast_config)
+        assert result.answer_scores == sorted(
+            result.answer_scores, reverse=True)
+        assert all(0 <= i < len(traffic_video) for i in result.answer_ids)
+
+
+class TestSelectAndTopk:
+    def test_single_lambda_run(self, traffic_video):
+        result = select_and_topk(
+            traffic_video, counting_udf("car"), 5, lam=0.6, min_train=200)
+        if result is not None:
+            assert len(result.answer_ids) == 5
+            assert result.extras["candidates"] >= 5
+            # Verified scores are oracle-exact.
+            for frame, score in zip(result.answer_ids,
+                                    result.answer_scores):
+                assert score == traffic_video.true_count(frame)
+
+    def test_infeasible_lambda_returns_none(self, traffic_video):
+        # lambda = 1.0 selects only frames at the sample max; the
+        # classifier threshold usually leaves < K candidates.
+        result = select_and_topk(
+            traffic_video, counting_udf("car"), 1000, lam=1.0,
+            min_train=100)
+        assert result is None
+
+    def test_invalid_lambda(self, traffic_video):
+        with pytest.raises(ConfigurationError):
+            select_and_topk(
+                traffic_video, counting_udf("car"), 5, lam=1.5)
+
+    def test_calibration_prefers_precise_runs(self, traffic_video):
+        truth = traffic_video.counts.astype(float)
+        result = calibrated_select_and_topk(
+            traffic_video, counting_udf("car"), 5, truth,
+            lambdas=(0.9, 0.6), precision_target=0.9)
+        if result is not None:
+            assert "precision" in result.extras

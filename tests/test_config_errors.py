@@ -1,0 +1,112 @@
+"""Tests for configuration validation and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.config import (
+    DiffDetectorConfig,
+    EverestConfig,
+    PAPER_CMDN_GRID,
+    Phase1Config,
+    Phase2Config,
+    SelectCandidateConfig,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        leaves = [
+            errors.ConfigurationError,
+            errors.VideoError,
+            errors.FrameIndexError,
+            errors.ModelError,
+            errors.NotFittedError,
+            errors.ShapeError,
+            errors.OracleError,
+            errors.OracleBudgetExceededError,
+            errors.UncertainRelationError,
+            errors.QueryError,
+            errors.GuaranteeUnreachableError,
+        ]
+        for leaf in leaves:
+            assert issubclass(leaf, errors.ReproError)
+
+    def test_frame_index_error_is_index_error(self):
+        error = errors.FrameIndexError(10, 5)
+        assert isinstance(error, IndexError)
+        assert error.index == 10 and error.num_frames == 5
+
+    def test_budget_error_carries_budget(self):
+        error = errors.OracleBudgetExceededError(17)
+        assert error.budget == 17
+        assert "17" in str(error)
+
+
+class TestPhase1Config:
+    def test_paper_grid_has_twelve_models(self):
+        assert len(PAPER_CMDN_GRID) == 12
+        assert (5, 20) in PAPER_CMDN_GRID
+        assert (15, 40) in PAPER_CMDN_GRID
+
+    def test_train_sample_size_formula(self):
+        config = Phase1Config(
+            sample_fraction=0.005, min_train_samples=500,
+            max_train_samples=30_000)
+        # Cap binds for very long videos.
+        assert config.train_sample_size(10_000_000) == 30_000
+        # Floor binds for short videos.
+        assert config.train_sample_size(20_000) == 500
+        # Proportional in between.
+        assert config.train_sample_size(1_000_000) == 5_000
+        # Never exceeds the video.
+        assert config.train_sample_size(100) == 100
+
+    def test_holdout_capped_by_video_length(self):
+        config = Phase1Config(holdout_samples=300)
+        assert config.holdout_sample_size(90) == 30
+        assert config.holdout_sample_size(100_000) == 300
+
+    def test_validation(self):
+        with pytest.raises(errors.ConfigurationError):
+            Phase1Config(sample_fraction=0.0)
+        with pytest.raises(errors.ConfigurationError):
+            Phase1Config(cmdn_grid=())
+        with pytest.raises(errors.ConfigurationError):
+            Phase1Config(epochs=0)
+        with pytest.raises(errors.ConfigurationError):
+            Phase1Config(truncate_sigmas=0.0)
+
+
+class TestOtherConfigs:
+    def test_diff_validation(self):
+        with pytest.raises(errors.ConfigurationError):
+            DiffDetectorConfig(mse_threshold=-1.0)
+        with pytest.raises(errors.ConfigurationError):
+            DiffDetectorConfig(clip_size=0)
+
+    def test_phase2_validation(self):
+        with pytest.raises(errors.ConfigurationError):
+            Phase2Config(batch_size=0)
+        with pytest.raises(errors.ConfigurationError):
+            Phase2Config(oracle_budget=0)
+        with pytest.raises(errors.ConfigurationError):
+            Phase2Config(window_sample_fraction=0.0)
+
+    def test_select_candidate_validation(self):
+        with pytest.raises(errors.ConfigurationError):
+            SelectCandidateConfig(resort_every=0)
+        with pytest.raises(errors.ConfigurationError):
+            SelectCandidateConfig(resort_warmup=-1)
+
+    def test_fast_preset_is_valid(self):
+        config = EverestConfig.fast()
+        assert config.phase1.epochs >= 1
+        assert config.phase2.batch_size >= 1
+
+    def test_paper_defaults(self):
+        config = EverestConfig()
+        assert config.phase2.batch_size == 8  # paper Section 3.5
+        assert config.diff.clip_size == 30    # paper Section 4
+        assert config.diff.mse_threshold == 1e-4
+        assert config.phase2.window_sample_fraction == 0.1
+        assert config.phase1.truncate_sigmas == 3.0

@@ -1,0 +1,184 @@
+"""Tests for Select-candidate (Equations 4-8).
+
+The closed-form expected confidence is validated against a brute-force
+"simulate the cleaning" reference, and the Equation 7 upper bound and
+its early-stopping behaviour are checked directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import SelectCandidateConfig
+from repro.core.reference import expected_confidence_bruteforce
+from repro.core.select_candidate import CandidateSelector
+from repro.core.topk_prob import ConfidenceState
+
+from conftest import make_relation
+
+
+def build_case(rng, num_tuples=6, levels=4, certain_scores=(3.0, 2.0)):
+    """Random relation with the first tuples cleaned as the answer."""
+    pmfs = [rng.dirichlet(np.ones(levels)) for _ in range(num_tuples)]
+    relation = make_relation(pmfs)
+    for position, score in enumerate(certain_scores):
+        relation.mark_certain(position, score)
+    state = ConfidenceState(relation)
+    selector = CandidateSelector(relation, state)
+    return relation, state, selector
+
+
+class TestExpectedConfidence:
+    def test_matches_bruteforce_k2(self):
+        rng = np.random.default_rng(3)
+        for trial in range(8):
+            relation, state, selector = build_case(rng)
+            k_level = 2  # K-th certain score is 2.0
+            p_level = 3  # penultimate is 3.0
+            uncertain = relation.uncertain_positions()
+            expected = selector.expected_confidences(
+                uncertain, k_level, p_level)
+            for i, position in enumerate(uncertain):
+                brute = expected_confidence_bruteforce(
+                    relation, int(position), k=2)
+                assert expected[i] == pytest.approx(brute, abs=1e-10), \
+                    f"trial {trial} position {position}"
+
+    def test_matches_bruteforce_k1(self):
+        """K=1: no penultimate frame; S_p is the grid maximum."""
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            pmfs = [rng.dirichlet(np.ones(4)) for _ in range(5)]
+            relation = make_relation(pmfs)
+            relation.mark_certain(0, 2.0)
+            state = ConfidenceState(relation)
+            selector = CandidateSelector(relation, state)
+            uncertain = relation.uncertain_positions()
+            expected = selector.expected_confidences(
+                uncertain, k_level=2, p_level=relation.grid.max_level)
+            for i, position in enumerate(uncertain):
+                brute = expected_confidence_bruteforce(
+                    relation, int(position), k=1)
+                assert expected[i] == pytest.approx(brute, abs=1e-10), \
+                    f"trial {trial}"
+
+    def test_expected_at_least_current_confidence(self):
+        rng = np.random.default_rng(9)
+        relation, state, selector = build_case(rng)
+        p_hat = state.topk_prob(2)
+        uncertain = relation.uncertain_positions()
+        expected = selector.expected_confidences(uncertain, 2, 3)
+        assert (expected >= p_hat - 1e-12).all(), \
+            "cleaning can never reduce the expected confidence"
+
+
+class TestUpperBound:
+    def test_bound_dominates_expectation(self):
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            relation, state, selector = build_case(rng)
+            k_level, p_level = 2, 3
+            uncertain = relation.uncertain_positions()
+            expected = selector.expected_confidences(
+                uncertain, k_level, p_level)
+            p_hat = state.topk_prob(k_level)
+            gamma = state.joint_cdf(p_level)
+            psi = selector.psi(uncertain, k_level, p_level)
+            bound = p_hat + gamma * psi
+            assert (bound >= expected - 1e-9).all()
+
+    def test_stale_psi_dominates_fresh_psi(self):
+        """psi only shrinks as S_k / S_p grow (Equation 8)."""
+        rng = np.random.default_rng(17)
+        relation, state, selector = build_case(rng)
+        uncertain = relation.uncertain_positions()
+        stale = selector.psi(uncertain, 1, 2)
+        fresh = selector.psi(uncertain, 2, 3)
+        assert (stale >= fresh - 1e-12).all()
+
+
+class TestSelection:
+    def test_selects_argmax(self):
+        rng = np.random.default_rng(21)
+        relation, state, selector = build_case(rng, num_tuples=8)
+        uncertain = relation.uncertain_positions()
+        expected = selector.expected_confidences(uncertain, 2, 3)
+        best = selector.select(0, 2, 3, batch_size=1)
+        assert best.size == 1
+        assert expected[list(uncertain).index(best[0])] == pytest.approx(
+            expected.max())
+
+    def test_batch_selects_top_b(self):
+        rng = np.random.default_rng(23)
+        relation, state, selector = build_case(rng, num_tuples=10)
+        uncertain = relation.uncertain_positions()
+        expected = selector.expected_confidences(uncertain, 2, 3)
+        batch = selector.select(0, 2, 3, batch_size=3)
+        top3 = set(uncertain[np.argsort(-expected)[:3]].tolist())
+        assert set(batch.tolist()) == top3
+
+    def test_exhaustive_matches_early_stopped(self):
+        rng = np.random.default_rng(29)
+        for trial in range(5):
+            pmfs = [rng.dirichlet(np.ones(4)) for _ in range(30)]
+            relation_a = make_relation(pmfs)
+            relation_b = make_relation(pmfs)
+            for rel in (relation_a, relation_b):
+                rel.mark_certain(0, 3.0)
+                rel.mark_certain(1, 2.0)
+            fast = CandidateSelector(
+                relation_a, ConfidenceState(relation_a),
+                SelectCandidateConfig(use_upper_bound=True))
+            slow = CandidateSelector(
+                relation_b, ConfidenceState(relation_b),
+                SelectCandidateConfig(use_upper_bound=False))
+            picked_fast = fast.select(0, 2, 3, batch_size=2)
+            picked_slow = slow.select(0, 2, 3, batch_size=2)
+            exp_fast = fast.expected_confidences(picked_fast, 2, 3)
+            exp_slow = slow.expected_confidences(picked_slow, 2, 3)
+            # Equal expectation (ties may swap identities).
+            assert np.allclose(
+                np.sort(exp_fast), np.sort(exp_slow), atol=1e-12), \
+                f"trial {trial}"
+
+    def test_skips_cleaned_tuples(self):
+        rng = np.random.default_rng(31)
+        relation, state, selector = build_case(rng, num_tuples=6)
+        first = selector.select(0, 2, 3, batch_size=1)
+        state.remove(int(first[0]))
+        relation.mark_certain(int(first[0]), 0.0)
+        second = selector.select(1, 2, 3, batch_size=1)
+        assert second[0] != first[0]
+
+    def test_empty_when_all_certain(self):
+        relation = make_relation(
+            [[1.0, 0.0], [0.0, 1.0]], certain={0: 0.0, 1: 1.0})
+        state = ConfidenceState(relation)
+        selector = CandidateSelector(relation, state)
+        assert selector.select(0, 1, 1, batch_size=4).size == 0
+
+    def test_stats_track_examination(self):
+        rng = np.random.default_rng(37)
+        relation, state, selector = build_case(rng, num_tuples=20)
+        selector.select(0, 2, 3, batch_size=1)
+        assert selector.stats.calls == 1
+        assert selector.stats.frames_examined >= 1
+        assert selector.stats.frames_available == 18
+
+    def test_resort_schedule(self):
+        rng = np.random.default_rng(41)
+        relation, state, selector = build_case(rng, num_tuples=12)
+        config = selector.config
+        selector.select(0, 2, 3, batch_size=1)
+        assert selector.stats.resorts == 1
+        # Within the warmup, iterations below resort_every reuse the
+        # stale order.
+        selector.select(1, 2, 3, batch_size=1)
+        assert selector.stats.resorts == 1
+        selector.select(config.resort_every, 2, 3, batch_size=1)
+        assert selector.stats.resorts == 2
+        # After the warmup, unchanged levels never trigger a resort...
+        selector.select(config.resort_warmup + 1, 2, 3, batch_size=1)
+        assert selector.stats.resorts == 2
+        # ...but a change of S_k / S_p does.
+        selector.select(config.resort_warmup + 2, 3, 3, batch_size=1)
+        assert selector.stats.resorts == 3

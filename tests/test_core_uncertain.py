@@ -1,0 +1,182 @@
+"""Tests for x-tuples, quantization, and the uncertain relation."""
+
+import numpy as np
+import pytest
+
+from repro.core.uncertain import (
+    QuantizationGrid,
+    UncertainRelation,
+    build_relation,
+    grid_for,
+    quantize_mixtures,
+)
+from repro.errors import ConfigurationError, UncertainRelationError
+from repro.models import GaussianMixture
+
+from conftest import make_relation
+
+
+def mixture(mus, sigmas, pis=None):
+    mus = np.atleast_2d(np.asarray(mus, dtype=float))
+    sigmas = np.atleast_2d(np.asarray(sigmas, dtype=float))
+    if pis is None:
+        pis = np.ones_like(mus) / mus.shape[1]
+    else:
+        pis = np.atleast_2d(np.asarray(pis, dtype=float))
+    return GaussianMixture(pi=pis, mu=mus, sigma=sigmas)
+
+
+class TestQuantizationGrid:
+    def test_level_roundtrip(self):
+        grid = QuantizationGrid(floor=0.0, step=0.5, num_levels=10)
+        for level in range(10):
+            score = grid.score_of(level)
+            assert grid.level_of(score) == level
+
+    def test_clipping(self):
+        grid = QuantizationGrid(floor=0.0, step=1.0, num_levels=5)
+        assert grid.level_of(-3.0) == 0
+        assert grid.level_of(100.0) == 4
+
+    def test_nearest_rounding(self):
+        grid = QuantizationGrid(floor=0.0, step=1.0, num_levels=10)
+        assert grid.level_of(1.4) == 1
+        assert grid.level_of(1.6) == 2
+
+    def test_edges_cover_reals(self):
+        grid = QuantizationGrid(floor=0.0, step=1.0, num_levels=3)
+        edges = grid.edges()
+        assert edges[0] == -np.inf and edges[-1] == np.inf
+        assert len(edges) == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationGrid(floor=0.0, step=0.0, num_levels=3)
+        with pytest.raises(ConfigurationError):
+            QuantizationGrid(floor=0.0, step=1.0, num_levels=0)
+        with pytest.raises(ConfigurationError):
+            QuantizationGrid(floor=0.0, step=1e-9, num_levels=10_000)
+
+
+class TestGridFor:
+    def test_covers_mixture_support(self):
+        mix = mixture([[2.0, 8.0]], [[0.5, 1.0]])
+        grid = grid_for(mix, floor=0.0, step=1.0)
+        assert grid.score_of(grid.max_level) >= 8.0 + 3.0
+
+    def test_covers_known_scores(self):
+        mix = mixture([[1.0]], [[0.1]])
+        grid = grid_for(mix, floor=0.0, step=1.0, extra_scores=[15.0])
+        assert grid.score_of(grid.max_level) >= 15.0
+
+
+class TestQuantizeMixtures:
+    def test_pmf_sums_to_one(self):
+        mix = mixture([[3.0, 7.0], [1.0, 2.0]], [[0.5, 1.0], [0.3, 0.4]])
+        grid = grid_for(mix, floor=0.0, step=1.0)
+        pmf = quantize_mixtures(mix, grid)
+        assert np.allclose(pmf.sum(axis=1), 1.0)
+        assert (pmf >= 0).all()
+
+    def test_mass_concentrates_at_mean(self):
+        mix = mixture([[5.0]], [[0.2]])
+        grid = grid_for(mix, floor=0.0, step=1.0)
+        pmf = quantize_mixtures(mix, grid)[0]
+        assert int(np.argmax(pmf)) == 5
+        assert pmf[5] > 0.95
+
+    def test_three_sigma_truncation(self):
+        """Mass beyond mu +/- 3 sigma must be exactly zero."""
+        mix = mixture([[10.0]], [[1.0]])
+        grid = grid_for(mix, floor=0.0, step=1.0)
+        pmf = quantize_mixtures(mix, grid, truncate_sigmas=3.0)[0]
+        # Levels clearly outside [7, 13] carry no mass.
+        assert pmf[:6].sum() == 0.0
+        assert pmf[15:].sum() == 0.0
+        assert pmf[8:13].sum() > 0.9
+
+    def test_quantized_mean_close_to_mixture_mean(self):
+        mix = mixture([[4.0, 9.0]], [[0.8, 1.2]], [[0.6, 0.4]])
+        grid = grid_for(mix, floor=0.0, step=0.5)
+        pmf = quantize_mixtures(mix, grid)[0]
+        levels = grid.score_of(np.arange(grid.num_levels))
+        assert float(pmf @ levels) == pytest.approx(
+            float(mix.mean()[0]), abs=0.2)
+
+    def test_empty_batch(self):
+        mix = GaussianMixture(
+            pi=np.zeros((0, 2)), mu=np.zeros((0, 2)), sigma=np.ones((0, 2)))
+        grid = QuantizationGrid(floor=0.0, step=1.0, num_levels=4)
+        assert quantize_mixtures(mix, grid).shape == (0, 4)
+
+
+class TestUncertainRelation:
+    def test_cdf_is_cumulative(self, tiny_relation):
+        assert np.allclose(
+            tiny_relation.cdf, np.cumsum(tiny_relation.pmf, axis=1))
+        assert np.allclose(tiny_relation.cdf[:, -1], 1.0)
+
+    def test_mark_certain(self, tiny_relation):
+        level = tiny_relation.mark_certain(2, 0.0)
+        assert level == 0
+        assert tiny_relation.certain[2]
+        assert tiny_relation.num_certain == 1
+        assert tiny_relation.num_uncertain == 2
+        assert tiny_relation.pmf[2, 0] == 1.0
+        assert tiny_relation.exact_scores[2] == 0.0
+
+    def test_double_clean_rejected(self, tiny_relation):
+        tiny_relation.mark_certain(0, 1.0)
+        with pytest.raises(UncertainRelationError):
+            tiny_relation.mark_certain(0, 2.0)
+
+    def test_expected_scores(self, tiny_relation):
+        expected = tiny_relation.expected_scores()
+        assert expected[0] == pytest.approx(0.21 + 2 * 0.01)
+        assert expected[2] == pytest.approx(0.48 + 2 * 0.36)
+
+    def test_position_lookup(self, tiny_relation):
+        assert tiny_relation.position(1) == 1
+        with pytest.raises(UncertainRelationError):
+            tiny_relation.position(99)
+
+    def test_copy_is_independent(self, tiny_relation):
+        clone = tiny_relation.copy()
+        clone.mark_certain(0, 1.0)
+        assert not tiny_relation.certain[0]
+
+    def test_duplicate_ids_rejected(self):
+        grid = QuantizationGrid(floor=0.0, step=1.0, num_levels=2)
+        pmf = np.array([[1.0, 0.0], [0.5, 0.5]])
+        with pytest.raises(UncertainRelationError):
+            UncertainRelation([1, 1], pmf, grid)
+
+    def test_unnormalized_pmf_rejected(self):
+        grid = QuantizationGrid(floor=0.0, step=1.0, num_levels=2)
+        with pytest.raises(UncertainRelationError):
+            UncertainRelation([0], np.array([[0.5, 0.2]]), grid)
+
+
+class TestBuildRelation:
+    def test_known_scores_become_certain(self):
+        mix = mixture([[2.0], [5.0]], [[0.5], [0.5]])
+        relation = build_relation(
+            [10, 20], mix, floor=0.0, step=1.0,
+            known_scores={10: 2.0})
+        assert relation.certain[relation.position(10)]
+        assert not relation.certain[relation.position(20)]
+
+    def test_extra_known_frames_appended(self):
+        mix = mixture([[2.0]], [[0.5]])
+        relation = build_relation(
+            [10], mix, floor=0.0, step=1.0,
+            known_scores={99: 7.0})
+        position = relation.position(99)
+        assert relation.certain[position]
+        assert relation.exact_scores[position] == 7.0
+        assert len(relation) == 2
+
+    def test_no_known_scores(self):
+        mix = mixture([[2.0], [3.0]], [[0.5], [0.5]])
+        relation = build_relation([0, 1], mix, floor=0.0, step=1.0)
+        assert relation.num_certain == 0

@@ -1,0 +1,189 @@
+"""Tests for the dataset registry, Visual Road suite, difference
+detector, and prefetching reader."""
+
+import numpy as np
+import pytest
+
+from repro.config import DiffDetectorConfig
+from repro.errors import ConfigurationError
+from repro.oracle import CostModel
+from repro.video import (
+    DATASETS,
+    DifferenceDetector,
+    TrafficVideo,
+    VideoReader,
+    build_dataset,
+    dataset_table,
+    visual_road_suite,
+    visual_road_video,
+)
+from repro.video.datasets import COUNTING_DATASETS, DASHCAM_DATASETS
+
+
+class TestDatasets:
+    def test_registry_mirrors_table7(self):
+        assert len(COUNTING_DATASETS) == 5
+        assert len(DASHCAM_DATASETS) == 2
+        assert set(DATASETS) == set(COUNTING_DATASETS) | set(DASHCAM_DATASETS)
+
+    def test_paper_metadata(self):
+        taipei = DATASETS["taipei-bus"]
+        assert taipei.paper_frames == 32_488_000
+        assert taipei.paper_hours == 300.8
+        assert taipei.object_of_interest == "car"
+
+    def test_build_counting(self):
+        video = build_dataset("archie", 1 / 1000, min_frames=1_000)
+        assert video.name == "archie"
+        assert len(video) == 2_130
+        assert video.object_label == "car"
+
+    def test_build_dashcam(self):
+        video = build_dataset(
+            "dashcam-california", 1 / 500, min_frames=100)
+        assert hasattr(video, "distances")
+        assert len(video) == 648
+
+    def test_min_frames_floor(self):
+        video = build_dataset("archie", 1e-9, min_frames=500)
+        assert len(video) == 500
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError, match="unknown dataset"):
+            build_dataset("nope")
+
+    def test_relative_sizes_preserved(self):
+        scale = 1 / 500
+        taipei = DATASETS["taipei-bus"].scaled_frames(scale, 1)
+        archie = DATASETS["archie"].scaled_frames(scale, 1)
+        ratio = taipei / archie
+        paper_ratio = 32_488_000 / 2_130_000
+        assert abs(ratio - paper_ratio) / paper_ratio < 0.01
+
+    def test_dataset_table_renders(self):
+        table = dataset_table()
+        assert "taipei-bus" in table
+        assert "1920x1080" in table
+        assert len(table.splitlines()) == 2 + len(DATASETS)
+
+
+class TestVisualRoad:
+    def test_suite_shares_scene(self):
+        suite = visual_road_suite((50, 250), num_frames=600)
+        assert [v.name for v in suite] == \
+            ["visual-road-50", "visual-road-250"]
+        # Same camera/scene: identical trajectory parameters.
+        assert np.array_equal(suite[0]._speed_x[:4], suite[1]._speed_x[:4])
+
+    def test_density_scales_visible_counts(self):
+        low = visual_road_video(50, num_frames=4_000)
+        high = visual_road_video(250, num_frames=4_000)
+        assert high.counts.mean() > 2 * low.counts.mean()
+
+    def test_concatenated_clips(self):
+        video = visual_road_video(100, num_frames=1_000, num_clips=4)
+        assert len(video) == 1_000
+
+    def test_rejects_bad_density(self):
+        with pytest.raises(ConfigurationError):
+            visual_road_video(0)
+
+
+class TestDifferenceDetector:
+    def test_static_video_collapses(self):
+        video = TrafficVideo(
+            "static", 300, seed=1, noise_level=0.0,
+            base_level=0.0, burst_amplitude=0.0, noise_scale=0.0,
+            illumination_amplitude=0.0, distractor_mean=0.0)
+        result = DifferenceDetector().run(video)
+        # One retained representative per clip of 30 frames.
+        assert result.num_retained == 300 // 30
+
+    def test_zero_threshold_retains_everything(self, traffic_video):
+        config = DiffDetectorConfig(mse_threshold=0.0)
+        result = DifferenceDetector(config).run(traffic_video)
+        assert result.num_retained == len(traffic_video)
+        assert result.reduction_ratio == 0.0
+
+    def test_representative_is_retained(self, traffic_video):
+        result = DifferenceDetector().run(traffic_video)
+        retained = set(result.retained.tolist())
+        for i in range(0, len(traffic_video), 37):
+            assert int(result.representative[i]) in retained
+
+    def test_retained_map_to_themselves(self, traffic_video):
+        result = DifferenceDetector().run(traffic_video)
+        for frame in result.retained[:50]:
+            assert result.representative[frame] == frame
+
+    def test_segments_partition_video(self, traffic_video):
+        result = DifferenceDetector().run(traffic_video)
+        segments = result.segments()
+        joined = np.concatenate(segments)
+        assert np.array_equal(joined, np.arange(len(traffic_video)))
+        for segment in segments:
+            reps = result.representative[segment]
+            assert np.unique(reps).size == 1
+
+    def test_mse_symmetric_zero(self):
+        detector = DifferenceDetector()
+        frame = np.random.default_rng(0).random((8, 8))
+        assert detector.mse(frame, frame) == 0.0
+        other = frame + 0.1
+        assert detector.mse(frame, other) == pytest.approx(0.01)
+
+    def test_discards_near_duplicates(self, traffic_video):
+        result = DifferenceDetector().run(traffic_video)
+        assert 0.0 < result.reduction_ratio < 1.0
+
+
+class TestVideoReader:
+    def test_cold_read_charges_decode(self, traffic_video):
+        cost = CostModel()
+        reader = VideoReader(traffic_video, cost_model=cost)
+        reader.read(5)
+        assert cost.units("decode") == 1
+        reader.read(5)  # cache hit
+        assert cost.units("decode") == 1
+        assert reader.cache_hits == 1
+
+    def test_prefetch_warms_cache(self, traffic_video):
+        cost = CostModel()
+        reader = VideoReader(traffic_video, cost_model=cost)
+        reader.set_priority_order([10, 20, 30])
+        assert reader.prefetch(2) == 2
+        assert cost.units("decode") == 2
+        reader.read(10)
+        reader.read(20)
+        assert reader.cache_hits == 2
+
+    def test_prefetch_skips_cached(self, traffic_video):
+        reader = VideoReader(traffic_video)
+        reader.read(7)
+        reader.set_priority_order([7, 8])
+        assert reader.prefetch(1) == 1  # 7 skipped, 8 fetched
+        assert reader.read(8) is not None
+        assert reader.cache_hits == 1
+
+    def test_lru_eviction(self, traffic_video):
+        reader = VideoReader(traffic_video, cache_size=2)
+        reader.read(1)
+        reader.read(2)
+        reader.read(3)  # evicts 1
+        cold_before = reader.cold_reads
+        reader.read(1)
+        assert reader.cold_reads == cold_before + 1
+
+    def test_read_batch(self, traffic_video):
+        reader = VideoReader(traffic_video)
+        batch = reader.read_batch([0, 1, 2])
+        assert batch.shape == (3, 24, 24)
+        assert reader.read_batch([]).shape == (0, 24, 24)
+
+    def test_matches_direct_pixels(self, traffic_video):
+        reader = VideoReader(traffic_video)
+        assert np.array_equal(reader.read(11), traffic_video.pixels(11))
+
+    def test_rejects_bad_cache_size(self, traffic_video):
+        with pytest.raises(ConfigurationError):
+            VideoReader(traffic_video, cache_size=0)
