@@ -1,0 +1,43 @@
+"""Bench for the declarative query API: sessions and plan compilation.
+
+Asserts the load-bearing property of the session layer: a K-sweep on
+one session builds Phase 1 exactly once (the dominant cost), so the
+whole sweep costs roughly one engine run plus cheap Phase 2 cleanings.
+Plan compilation and ``explain()`` must stay free — no Phase 1 run.
+"""
+
+from repro.api import Session
+from repro.experiments.runner import config_for, counting_videos
+from repro.oracle import counting_udf
+
+from conftest import run_once
+
+
+def test_session_sweep_builds_phase1_once(bench_scale, benchmark):
+    video = counting_videos(bench_scale)[0]
+    session = Session(
+        video, counting_udf(video.object_label),
+        config=config_for(bench_scale))
+
+    def sweep():
+        base = session.query().guarantee(0.9)
+        return [base.topk(k).run() for k in (5, 25, 50)]
+
+    reports = run_once(benchmark, sweep)
+    assert session.phase1_runs == 1
+    assert len(reports) == 3
+    for report in reports:
+        assert report.confidence >= 0.9
+        # Each report still accounts the full (shared) Phase 1 cost.
+        assert report.breakdown.phase1_seconds > 0
+
+
+def test_plan_compilation_is_free(bench_scale):
+    video = counting_videos(bench_scale)[0]
+    session = Session(
+        video, counting_udf(video.object_label),
+        config=config_for(bench_scale))
+    plan = session.query().windows(size=30).topk(10).guarantee(0.95).plan()
+    assert "tumbling-windows(size=30" in plan.explain()
+    # Compiling and explaining must not have triggered Phase 1.
+    assert session.phase1_runs == 0

@@ -55,7 +55,7 @@ def test_fig4_overall(bench_scale, benchmark):
     # oracle verification on its candidate set. (In the paper it is as
     # slow as scan; on our synthetic videos its candidate sets stay
     # small because tie-dense integer counts make the range boundary
-    # learnable — see EXPERIMENTS.md, known deviation 5.)
+    # learnable — a known deviation from the paper's numbers.)
     for record in by_method.get("select-and-topk", []):
         assert record.extras.get("oracle_calls", 0) >= record.k
         assert record.extras.get("candidates", 0) >= record.k

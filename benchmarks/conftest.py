@@ -1,9 +1,11 @@
 """Benchmark-suite fixtures.
 
-Benchmarks run the same experiment harness as EXPERIMENTS.md but at
-``ExperimentScale.bench()`` (shorter videos, trimmed lambda grids) so
-the whole suite finishes in minutes. Each bench prints the paper-style
-table it regenerates; ``pytest-benchmark`` times a single full run via
+Benchmarks run the same experiment harness as
+``scripts/collect_experiments.py`` — and therefore the same session /
+query-plan path (DESIGN.md §4) — but at ``ExperimentScale.bench()``
+(shorter videos, trimmed lambda grids) so the whole suite finishes in
+minutes. Each bench prints the paper-style table it regenerates;
+``pytest-benchmark`` times a single full run via
 ``benchmark.pedantic(rounds=1)`` because the workloads are macro-scale.
 """
 

@@ -13,9 +13,8 @@ Run:  python examples/dashcam_tailgating.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import EverestConfig, EverestEngine
+from repro import EverestConfig
+from repro.api import Session
 from repro.metrics import evaluate_answer
 from repro.oracle import tailgating_udf
 from repro.oracle.base import exact_scores
@@ -26,8 +25,8 @@ def main() -> None:
     video = build_dataset("dashcam-california", min_frames=8_000)
     scoring = tailgating_udf(max_distance=60.0, quantization_step=0.5)
 
-    engine = EverestEngine(video, scoring, config=EverestConfig())
-    report = engine.topk(k=20, thres=0.9)
+    session = Session(video, scoring, config=EverestConfig())
+    report = session.query().topk(20).guarantee(0.9).run()
 
     print(report.summary())
     print()

@@ -1,17 +1,24 @@
 """Quickstart: Top-K frames with a probabilistic guarantee.
 
-Builds a synthetic traffic video, asks Everest for the Top-10 frames
-with the most cars at 90% confidence, and compares the answer against
-the ground truth the oracle would produce on a full scan.
+Builds a synthetic traffic video, opens a query session, asks Everest
+for the Top-10 frames with the most cars at 90% confidence, and
+compares the answer against the ground truth the oracle would produce
+on a full scan.
+
+The declarative API separates the three concerns: a ``Session`` opens
+a (video, UDF) pair and caches Phase 1; the fluent builder describes
+the query; ``run()`` executes the compiled plan. (Legacy note: the
+original surface — ``EverestEngine(video, scoring).topk(k=10,
+thres=0.9)`` — still works and is a thin facade over the same
+session.)
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import EverestConfig, EverestEngine
+from repro import EverestConfig
+from repro.api import Session
 from repro.metrics import evaluate_answer
 from repro.oracle import counting_udf
 from repro.video import TrafficVideo
@@ -28,10 +35,12 @@ def main() -> None:
 
     # The default UDF from the paper (Figure 3): the score of a frame
     # is the number of cars found by the (simulated) YOLOv3 oracle.
-    scoring = counting_udf("car")
+    session = Session(video, counting_udf("car"), config=EverestConfig())
 
-    engine = EverestEngine(video, scoring, config=EverestConfig())
-    report = engine.topk(k=10, thres=0.9)
+    query = session.query().topk(10).guarantee(0.9)
+    print(query.explain())
+    print()
+    report = query.run()
 
     print(report.summary())
     print()

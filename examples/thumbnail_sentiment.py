@@ -11,9 +11,8 @@ Run:  python examples/thumbnail_sentiment.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import EverestConfig, EverestEngine
+from repro import EverestConfig
+from repro.api import Session
 from repro.baselines import cmdn_only_topk
 from repro.metrics import evaluate_answer
 from repro.oracle import sentiment_udf
@@ -25,8 +24,8 @@ def main() -> None:
     scoring = sentiment_udf(quantization_step=0.02)
     config = EverestConfig()
 
-    engine = EverestEngine(video, scoring, config=config)
-    report = engine.topk(k=10, thres=0.9)
+    session = Session(video, scoring, config=config)
+    report = session.query().topk(10).guarantee(0.9).run()
     truth = video.happiness.copy()
 
     print(report.summary())

@@ -4,22 +4,20 @@ The paper's first motivating use case: a shop's rent tracks its peak
 foot traffic, so an analyst asks for the Top-5 30-frame windows with
 the highest average pedestrian count instead of manually counting.
 
-This example uses the Table 7 "daxi-old-street" stand-in (a pedestrian
-street), runs a Top-K *window* query, and prints the busiest moments
-as time ranges.
+This example drives the whole pipeline by registry strings: the
+Table 7 "daxi-old-street" stand-in (a pedestrian street) and the
+"count[person]" UDF name open a session, which then runs a Top-K
+*window* query and prints the busiest moments as time ranges.
 
 Run:  python examples/traffic_peak_hours.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import EverestConfig, EverestEngine
+from repro import EverestConfig
+from repro.api import open_session
 from repro.core.windows import window_bounds, window_truth
 from repro.metrics import evaluate_answer
-from repro.oracle import counting_udf
-from repro.video import build_dataset
 
 
 def timestamp(frame: int, fps: float) -> str:
@@ -31,12 +29,17 @@ def timestamp(frame: int, fps: float) -> str:
 
 def main() -> None:
     # Scaled-down stand-in for the 80-hour Daxi Old Street video.
-    video = build_dataset("daxi-old-street", min_frames=8_000)
-    scoring = counting_udf("person")
     window_size = 30  # one second of 30 fps video per window
+    session = open_session(
+        "daxi-old-street", "count[person]",
+        config=EverestConfig(), min_frames=8_000)
+    video = session.video
 
-    engine = EverestEngine(video, scoring, config=EverestConfig())
-    report = engine.topk_windows(k=5, thres=0.9, window_size=window_size)
+    report = (session.query()
+              .windows(size=window_size)
+              .topk(5)
+              .guarantee(0.9)
+              .run())
 
     print(report.summary())
     print()

@@ -1,14 +1,18 @@
-"""Collect the paper-scale experiment results for EXPERIMENTS.md.
+"""Collect the paper-scale experiment results.
 
-Runs every reproduced table/figure at the recorded scale and writes the
-rendered tables to ``results/experiments_output.txt``.
+Runs every reproduced table/figure at the recorded scale, writes the
+rendered tables to ``results/experiments_output.txt``, and persists
+every query report as JSON (``results/reports.json``, via
+``QueryReport.to_json``) so later analysis can reload the raw numbers
+without re-running the sweeps.
 """
 
 from __future__ import annotations
 
+import json
 import os
-import sys
 import time
+from typing import List, Optional, Tuple
 
 from repro.experiments import (
     ExperimentScale,
@@ -21,52 +25,57 @@ from repro.experiments import (
     table7,
     table8,
 )
+from repro.experiments.runner import ExperimentRecord, counting_videos
+
+
+def collect_reports(
+    section: str, records: Optional[List[ExperimentRecord]], store: list
+) -> None:
+    """Append the JSON form of every record that kept its full report."""
+    for record in records or []:
+        if record.report is None:
+            continue
+        store.append({
+            "section": section,
+            "method": record.method,
+            "report": record.report.to_dict(),
+        })
 
 
 def main() -> None:
     scale = ExperimentScale.paper()
     os.makedirs("results", exist_ok=True)
     out_path = os.path.join("results", "experiments_output.txt")
+    reports_path = os.path.join("results", "reports.json")
 
     # Parameter sweeps run on a three-video subset to bound wall time;
     # fig4 / table8 cover all five videos.
-    from repro.experiments.runner import counting_videos
-
-    sweep_videos = None
-
-    def fig5_main(scale):
-        output = fig5.render(fig5.run(scale, videos=sweep_videos))
-        print(output)
-        return output
-
-    def fig6_main(scale):
-        output = fig6.render(fig6.run(scale, videos=sweep_videos))
-        print(output)
-        return output
-
-    def fig7_main(scale):
-        output = fig7.render(fig7.run(scale, videos=sweep_videos))
-        print(output)
-        return output
-
     sweep_videos = counting_videos(scale)[:3]
 
+    def records_main(module, **kwargs) -> Tuple[str, list]:
+        records = module.run(scale, **kwargs)
+        output = module.render(records)
+        print(output)
+        return output, records
+
     sections = [
-        ("table7", table7.main),
-        ("fig4", fig4.main),
-        ("table8", table8.main),
-        ("fig5", fig5_main),
-        ("fig6", fig6_main),
-        ("fig7", fig7_main),
-        ("fig8", fig8.main),
-        ("fig9", fig9.main),
+        ("table7", lambda: (table7.main(scale), None)),
+        ("fig4", lambda: records_main(fig4)),
+        ("table8", lambda: records_main(table8)),
+        ("fig5", lambda: records_main(fig5, videos=sweep_videos)),
+        ("fig6", lambda: records_main(fig6, videos=sweep_videos)),
+        ("fig7", lambda: records_main(fig7, videos=sweep_videos)),
+        ("fig8", lambda: records_main(fig8)),
+        ("fig9", lambda: records_main(fig9)),
     ]
+    all_reports: list = []
     with open(out_path, "w") as handle:
         for name, runner in sections:
             start = time.time()
             print(f"=== {name} ===", flush=True)
             try:
-                output = runner(scale)
+                output, records = runner()
+                collect_reports(name, records, all_reports)
             except Exception as exc:  # keep collecting on failure
                 output = f"FAILED: {exc!r}"
                 print(output, flush=True)
@@ -74,7 +83,13 @@ def main() -> None:
             handle.write(f"=== {name} (wall {elapsed:.0f}s) ===\n")
             handle.write(output + "\n\n")
             handle.flush()
+            # Rewrite the report dump after every section so an
+            # interrupted multi-hour run keeps what it already paid for.
+            with open(reports_path, "w") as reports_handle:
+                json.dump(all_reports, reports_handle, indent=1)
             print(f"--- {name} done in {elapsed:.0f}s", flush=True)
+
+    print(f"wrote {len(all_reports)} query reports to {reports_path}")
 
 
 if __name__ == "__main__":

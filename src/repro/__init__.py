@@ -3,17 +3,25 @@ guarantees (Lai et al., SIGMOD 2021).
 
 Quickstart
 ----------
->>> from repro import EverestEngine, EverestConfig
+>>> from repro import EverestConfig, Session
 >>> from repro.video import TrafficVideo
 >>> from repro.oracle import counting_udf
 >>> video = TrafficVideo("demo", 2_000, seed=1)
->>> engine = EverestEngine(video, counting_udf("car"),
-...                        config=EverestConfig.fast())
->>> report = engine.topk(k=5, thres=0.9)
+>>> session = Session(video, counting_udf("car"),
+...                   config=EverestConfig.fast())
+>>> report = session.query().topk(5).guarantee(0.9).run()
 >>> print(report.summary())  # doctest: +SKIP
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every reproduced table and figure.
+A :class:`Session` caches Phase 1, so further queries on it
+(``session.query().windows(size=30).topk(5).guarantee(0.9).run()``)
+pay only for Phase 2 cleaning. Registered names work too:
+``repro.api.open_session("taipei-bus", "count[car]")``.
+
+Legacy note: the original imperative surface is still available —
+``EverestEngine(video, counting_udf("car")).topk(k=5, thres=0.9)`` —
+and is a thin facade over the same session machinery.
+
+See DESIGN.md for the architecture and module inventory.
 """
 
 from .config import (
@@ -24,6 +32,13 @@ from .config import (
     SelectCandidateConfig,
 )
 from .core import EverestEngine, QueryReport
+from .api import (
+    Query,
+    QueryExecutor,
+    QueryPlan,
+    Session,
+    open_session,
+)
 from .errors import (
     ConfigurationError,
     GuaranteeUnreachableError,
@@ -39,6 +54,11 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "Query",
+    "QueryPlan",
+    "QueryExecutor",
+    "open_session",
     "EverestEngine",
     "QueryReport",
     "EverestConfig",

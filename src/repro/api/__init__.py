@@ -1,0 +1,54 @@
+"""The declarative query API: sessions, builders, plans, executors.
+
+This is the user-facing layer of the reproduction (DESIGN.md §4)::
+
+    session = open_session("daxi-old-street", "count[person]")
+    report = (session.query()
+              .windows(size=30)
+              .topk(5)
+              .guarantee(0.9)
+              .run())
+
+* :class:`Session` opens a (video, UDF) pair once and owns the Phase-1
+  cache and cost ledgers; many queries share one relation build.
+* :class:`Query` is the fluent, immutable builder; every clause
+  validates eagerly and returns a new builder.
+* :class:`QueryPlan` is the compiled, inspectable form
+  (``query.explain()``), executed by :class:`QueryExecutor` into the
+  standard :class:`~repro.core.result.QueryReport`.
+* :mod:`~repro.api.registry` maps names to UDFs and videos so scripts
+  can be driven by strings.
+
+The legacy :class:`~repro.core.engine.EverestEngine` is a thin facade
+over this layer.
+"""
+
+from .session import Phase1Entry, Session, phase1_key
+from .query import Query
+from .plan import QueryPlan
+from .executor import QueryExecutor
+from .registry import (
+    list_udfs,
+    list_videos,
+    open_session,
+    register_udf,
+    register_video,
+    resolve_udf,
+    resolve_video,
+)
+
+__all__ = [
+    "Session",
+    "Phase1Entry",
+    "phase1_key",
+    "Query",
+    "QueryPlan",
+    "QueryExecutor",
+    "open_session",
+    "register_udf",
+    "register_video",
+    "resolve_udf",
+    "resolve_video",
+    "list_udfs",
+    "list_videos",
+]

@@ -1,0 +1,176 @@
+"""Plan execution: Phase 2 cleaning against a session's cached Phase 1.
+
+:class:`QueryExecutor` is the only place that turns a
+:class:`~repro.api.plan.QueryPlan` into work: it fetches (or builds)
+the session's Phase 1 artifacts, materializes the frame- or
+window-level uncertain relation, runs the cleaning loop with a fresh
+cost ledger, and assembles the :class:`~repro.core.result.QueryReport`.
+Each execution clones the cached relation, so a query never perturbs
+its session and per-query Table 8 breakdowns stay exact.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.cleaner import TopKCleaner
+from ..core.result import PhaseBreakdown, QueryReport
+from ..core.windows import WindowCleaner, build_window_relation
+from ..errors import QueryError
+from ..oracle.base import Oracle
+from ..oracle.cost import CostModel
+from .plan import QueryPlan
+from .session import Phase1Entry, Session
+
+
+class QueryExecutor:
+    """Executes compiled plans against one session."""
+
+    def __init__(self, session: Session):
+        self.session = session
+
+    def execute(self, plan: QueryPlan) -> QueryReport:
+        session = self.session
+        if (plan.video_name != session.video.name
+                or plan.num_frames != len(session.video)
+                or plan.udf_name != session.scoring.name):
+            raise QueryError(
+                f"plan targets ({plan.video_name!r}, {plan.num_frames} "
+                f"frames, {plan.udf_name!r}) but the session opened "
+                f"({session.video.name!r}, {len(session.video)} frames, "
+                f"{session.scoring.name!r})")
+        entry = session.phase1(plan.config)
+        if plan.mode == "windows":
+            return self._run_windows(plan, entry)
+        return self._run_frames(plan, entry)
+
+    # ------------------------------------------------------------------
+    def _phase2_context(self, plan: QueryPlan):
+        """A fresh per-query cost ledger plus the confirming oracle."""
+        phase2_cost = CostModel(plan.unit_costs)
+        confirm_oracle = Oracle(
+            self.session.scoring,
+            phase2_cost,
+            cost_key="oracle_confirm",
+            budget=plan.oracle_budget,
+        )
+        return phase2_cost, confirm_oracle
+
+    def _clean(
+        self, plan, entry, relation, clean_fn, phase2_cost, confirm_oracle
+    ) -> QueryReport:
+        """The shared Phase 2 tail: cleaning loop + report assembly."""
+        cleaner = TopKCleaner(
+            relation,
+            clean_fn,
+            plan.config.phase2,
+            cost_model=phase2_cost,
+        )
+        outcome = cleaner.run(plan.k, plan.thres)
+        return self._report(
+            plan, outcome, entry, phase2_cost,
+            oracle_calls=entry.oracle_calls + confirm_oracle.calls,
+            num_tuples=len(relation),
+        )
+
+    def _run_frames(
+        self, plan: QueryPlan, entry: Phase1Entry
+    ) -> QueryReport:
+        session = self.session
+        phase2_cost, confirm_oracle = self._phase2_context(plan)
+        relation = entry.result.relation.copy()
+
+        def clean_fn(ids: Sequence[int]) -> np.ndarray:
+            phase2_cost.charge("decode", len(ids))
+            return confirm_oracle.score(session.video, ids)
+
+        return self._clean(
+            plan, entry, relation, clean_fn, phase2_cost, confirm_oracle)
+
+    def _run_windows(
+        self, plan: QueryPlan, entry: Phase1Entry
+    ) -> QueryReport:
+        session = self.session
+        phase1 = entry.result
+        assert plan.window_size is not None and plan.window_step is not None
+        relation = build_window_relation(
+            phase1.mixtures,
+            phase1.diff_result.retained,
+            phase1.diff_result,
+            window_size=plan.window_size,
+            floor=session.scoring.score_floor,
+            step=plan.window_step,
+            truncate_sigmas=plan.config.phase1.truncate_sigmas,
+        )
+        phase2_cost, confirm_oracle = self._phase2_context(plan)
+        clean_fn = WindowCleaner(
+            video=session.video,
+            oracle=confirm_oracle,
+            window_size=plan.window_size,
+            sample_fraction=plan.config.phase2.window_sample_fraction,
+            seed=plan.config.seed,
+            cost_model=phase2_cost,
+        )
+        return self._clean(
+            plan, entry, relation, clean_fn, phase2_cost, confirm_oracle)
+
+    # ------------------------------------------------------------------
+    def _breakdown(
+        self, entry: Phase1Entry, phase2_cost: CostModel
+    ) -> PhaseBreakdown:
+        p1 = entry.cost_model
+        return PhaseBreakdown(
+            label_sample=p1.seconds("oracle_label"),
+            cmdn_training=p1.seconds("cmdn_train"),
+            populate_d0=(
+                p1.seconds("cmdn_infer")
+                + p1.seconds("diff_detect")
+                + p1.seconds("decode")
+            ),
+            select_candidate=phase2_cost.seconds("select_candidate"),
+            confirm_oracle=(
+                phase2_cost.seconds("oracle_confirm")
+                + phase2_cost.seconds("decode")
+            ),
+        )
+
+    def _report(
+        self,
+        plan: QueryPlan,
+        outcome,
+        entry: Phase1Entry,
+        phase2_cost: CostModel,
+        *,
+        oracle_calls: int,
+        num_tuples: int,
+    ) -> QueryReport:
+        session = self.session
+        phase1 = entry.result
+        best = phase1.grid_result.best_history
+        return QueryReport(
+            video_name=session.video.name,
+            udf_name=session.scoring.name,
+            k=plan.k,
+            thres=plan.thres,
+            window_size=plan.window_size,
+            num_frames=len(session.video),
+            answer_ids=outcome.answer_ids,
+            answer_scores=outcome.answer_scores,
+            confidence=outcome.confidence,
+            iterations=outcome.iterations,
+            cleaned=outcome.cleaned,
+            num_tuples=num_tuples,
+            num_retained=phase1.diff_result.num_retained,
+            oracle_calls=oracle_calls,
+            breakdown=self._breakdown(entry, phase2_cost),
+            scan_seconds=session.scan_seconds(),
+            proxy_hyperparameters=best.hyperparameters,
+            holdout_nll=best.holdout_nll,
+            confidence_trace=outcome.confidence_trace,
+            selection_examine_fraction=(
+                outcome.selection_stats.examine_fraction
+                if outcome.selection_stats else 0.0
+            ),
+        )

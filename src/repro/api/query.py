@@ -1,0 +1,151 @@
+"""The fluent, immutable query builder.
+
+``session.query().windows(size=30).topk(k=10).guarantee(0.9)`` builds
+a description of a Top-K query one clause at a time. Every clause
+validates its arguments eagerly (raising
+:class:`~repro.errors.QueryError` /
+:class:`~repro.errors.ConfigurationError` at call time, not at run
+time) and returns a *new* builder, so partial queries can be shared
+and forked across a sweep without aliasing surprises::
+
+    base = session.query().guarantee(0.95)
+    for k in (5, 10, 25):
+        report = base.topk(k).run()
+
+``plan()`` compiles the builder to an executable
+:class:`~repro.api.plan.QueryPlan`; ``run()`` compiles and executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..config import EverestConfig
+from ..core.windows import WINDOW_STEP_DIVISOR
+from ..errors import ConfigurationError, QueryError
+from .plan import QueryPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.result import QueryReport
+    from .session import Session
+
+#: Sentinel distinguishing "not set" from an explicit ``None``.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable, partially built Top-K query."""
+
+    session: "Session" = field(repr=False, compare=False)
+    _k: int = 50
+    _thres: float = 0.9
+    _mode: str = "frames"
+    _window_size: Optional[int] = None
+    _window_step: Optional[float] = None
+    _oracle_budget: object = _UNSET
+    _config: Optional[EverestConfig] = None
+
+    # -- clauses -------------------------------------------------------
+    def topk(self, k: int) -> "Query":
+        """Ask for the Top-``k`` highest-scoring frames or windows."""
+        # Integral (not bare int) so numpy integers keep working.
+        if not isinstance(k, numbers.Integral) or isinstance(k, bool) \
+                or k < 1:
+            raise QueryError(f"k must be a positive integer, got {k!r}")
+        return dataclasses.replace(self, _k=int(k))
+
+    def guarantee(self, thres: float) -> "Query":
+        """Require the answer to be exact with probability >= ``thres``."""
+        if not 0.0 < thres <= 1.0:
+            raise QueryError(
+                f"guarantee threshold must be in (0, 1], got {thres!r}")
+        return dataclasses.replace(self, _thres=float(thres))
+
+    def frames(self) -> "Query":
+        """Rank individual frames (the default)."""
+        return dataclasses.replace(
+            self, _mode="frames", _window_size=None, _window_step=None)
+
+    def windows(
+        self, size: int, *, step: Optional[float] = None
+    ) -> "Query":
+        """Rank tumbling windows of ``size`` frames by mean score.
+
+        ``step`` is the window relation's quantization step; the
+        default is the UDF step / 4 (windows live on a finer scale
+        than single frames). ``size=1`` is the frame query.
+        """
+        if not isinstance(size, numbers.Integral) or isinstance(size, bool) \
+                or size < 1:
+            raise QueryError(
+                f"window size must be a positive integer, got {size!r}")
+        if step is not None and not step > 0:
+            raise QueryError(
+                f"window_step must be positive, got {step!r}")
+        return dataclasses.replace(
+            self, _mode="windows", _window_size=int(size), _window_step=step)
+
+    def oracle_budget(self, budget: Optional[int]) -> "Query":
+        """Cap Phase 2 oracle invocations (``None`` = unbounded)."""
+        if budget is not None:
+            if not isinstance(budget, numbers.Integral) \
+                    or isinstance(budget, bool) or budget < 1:
+                raise ConfigurationError(
+                    f"oracle_budget must be None or a positive integer, "
+                    f"got {budget!r}")
+            budget = int(budget)
+        return dataclasses.replace(self, _oracle_budget=budget)
+
+    def with_config(self, config: EverestConfig) -> "Query":
+        """Override the session configuration for this query only.
+
+        Overrides that keep ``(phase1, diff, seed)`` untouched still
+        hit the session's Phase 1 cache.
+        """
+        if not isinstance(config, EverestConfig):
+            raise ConfigurationError(
+                f"with_config expects an EverestConfig, got {config!r}")
+        return dataclasses.replace(self, _config=config)
+
+    # -- compilation and execution -------------------------------------
+    def plan(self) -> QueryPlan:
+        """Compile to an executable plan (cheap; Phase 1 not run)."""
+        session = self.session
+        config = self._config if self._config is not None else session.config
+        mode = self._mode
+        window_size = self._window_size
+        window_step = self._window_step
+        if mode == "windows" and window_size == 1:
+            # A 1-frame window is the frame query (paper Section 3.4).
+            mode, window_size, window_step = "frames", None, None
+        if mode == "windows" and window_step is None:
+            window_step = session.scoring.step / WINDOW_STEP_DIVISOR
+        budget = (
+            config.phase2.oracle_budget
+            if self._oracle_budget is _UNSET else self._oracle_budget
+        )
+        return QueryPlan(
+            video_name=session.video.name,
+            udf_name=session.scoring.name,
+            num_frames=len(session.video),
+            mode=mode,
+            k=self._k,
+            thres=self._thres,
+            window_size=window_size,
+            window_step=window_step,
+            oracle_budget=budget,
+            config=config,
+            unit_costs=session.resolved_unit_costs(),
+        )
+
+    def explain(self) -> str:
+        """The compiled plan, rendered for humans."""
+        return self.plan().explain()
+
+    def run(self) -> "QueryReport":
+        """Compile and execute, returning the full query report."""
+        return self.session.execute(self.plan())

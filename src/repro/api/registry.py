@@ -1,0 +1,166 @@
+"""Name registries: strings → scoring functions and videos.
+
+Lets examples, scripts and config files drive the query API without
+importing factories: ``open_session("daxi-old-street",
+"count[person]")``. UDF specs are ``"name"`` or ``"name[arg]"`` (the
+bracket argument is the object label for counting UDFs). Video names
+resolve against the Table 7 dataset registry first, then against the
+registered synthetic families.
+
+Both registries are extensible — ``register_udf`` / ``register_video``
+add new names — which is how later operators and datasets plug in
+without touching the callers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..config import EverestConfig
+from ..errors import ConfigurationError
+from ..oracle.base import ScoringFunction
+from ..oracle.depth import tailgating_udf
+from ..oracle.detector import counting_udf
+from ..oracle.sentiment import sentiment_udf
+from ..video.datasets import DATASETS, build_dataset
+from ..video.synthetic import (
+    DashcamVideo,
+    SentimentVideo,
+    SyntheticVideo,
+    TrafficVideo,
+)
+from .session import Session
+
+#: A UDF factory takes the optional bracket argument from the spec.
+UdfFactory = Callable[..., ScoringFunction]
+#: A video factory takes builder keyword arguments (num_frames, seed…).
+VideoFactory = Callable[..., SyntheticVideo]
+
+_UDF_SPEC = re.compile(r"^(?P<name>[\w-]+)(?:\[(?P<arg>[^\]]+)\])?$")
+_UDF_NAME = re.compile(r"^[\w-]+$")
+
+_udf_registry: Dict[str, UdfFactory] = {}
+_video_registry: Dict[str, VideoFactory] = {}
+
+
+def register_udf(name: str, factory: UdfFactory) -> None:
+    """Register a scoring-function factory under ``name``.
+
+    The name must be resolvable by :func:`resolve_udf`'s spec grammar
+    (letters, digits, underscores, dashes).
+    """
+    if not _UDF_NAME.match(name or ""):
+        raise ConfigurationError(
+            f"invalid UDF registry name {name!r}; names must match "
+            f"[A-Za-z0-9_-]+ so 'name[arg]' specs can resolve them")
+    _udf_registry[name] = factory
+
+
+def register_video(name: str, factory: VideoFactory) -> None:
+    """Register a synthetic-video family under ``name``.
+
+    Table 7 dataset names are reserved: :func:`resolve_video` checks
+    them first, so shadowing one would silently no-op.
+    """
+    if not name:
+        raise ConfigurationError("video registry name must be non-empty")
+    if name in DATASETS:
+        raise ConfigurationError(
+            f"{name!r} is a built-in Table 7 dataset and cannot be "
+            f"re-registered")
+    _video_registry[name] = factory
+
+
+def list_udfs() -> List[str]:
+    """Registered UDF family names (spec syntax: ``name[arg]``)."""
+    return sorted(_udf_registry)
+
+
+def list_videos() -> List[str]:
+    """All resolvable video names: Table 7 datasets plus families."""
+    return sorted(set(DATASETS) | set(_video_registry))
+
+
+def _parse_udf_spec(spec: str) -> Tuple[str, Optional[str]]:
+    match = _UDF_SPEC.match(spec)
+    if match is None:
+        raise ConfigurationError(
+            f"malformed UDF spec {spec!r}; expected 'name' or 'name[arg]'")
+    return match.group("name"), match.group("arg")
+
+
+def resolve_udf(spec: str) -> ScoringFunction:
+    """Build the scoring function a spec like ``"count[car]"`` names."""
+    name, arg = _parse_udf_spec(spec)
+    factory = _udf_registry.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown UDF {name!r}; registered: {', '.join(list_udfs())}")
+    return factory(arg) if arg is not None else factory()
+
+
+def resolve_video(name: str, **kwargs) -> SyntheticVideo:
+    """Build the video a registered name refers to.
+
+    Table 7 dataset names take :func:`~repro.video.datasets.build_dataset`
+    keywords (``scale``, ``min_frames``…); family names take their
+    constructor keywords (``num_frames``, ``seed``…).
+    """
+    if name in DATASETS:
+        return build_dataset(name, **kwargs)
+    factory = _video_registry.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown video {name!r}; known: {', '.join(list_videos())}")
+    return factory(**kwargs)
+
+
+def open_session(
+    video,
+    scoring,
+    *,
+    config: Optional[EverestConfig] = None,
+    unit_costs: Optional[Dict[str, float]] = None,
+    **video_kwargs,
+) -> Session:
+    """Open a :class:`Session`, accepting registry names or objects."""
+    return Session.open(
+        video, scoring,
+        config=config, unit_costs=unit_costs, **video_kwargs)
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations.
+
+def _counting_factory(label: Optional[str] = None) -> ScoringFunction:
+    return counting_udf(label if label is not None else "car")
+
+
+def _tailgating_factory(arg: Optional[str] = None) -> ScoringFunction:
+    if arg is not None:
+        return tailgating_udf(max_distance=float(arg))
+    return tailgating_udf()
+
+
+def _sentiment_factory(arg: Optional[str] = None) -> ScoringFunction:
+    if arg is not None:
+        return sentiment_udf(quantization_step=float(arg))
+    return sentiment_udf()
+
+
+register_udf("count", _counting_factory)
+register_udf("tailgating", _tailgating_factory)
+register_udf("sentiment", _sentiment_factory)
+
+
+def _family(cls, default_name: str) -> VideoFactory:
+    def build(name: Optional[str] = None, num_frames: int = 5_000,
+              **kwargs) -> SyntheticVideo:
+        return cls(name or default_name, num_frames, **kwargs)
+    return build
+
+
+register_video("traffic", _family(TrafficVideo, "traffic"))
+register_video("dashcam", _family(DashcamVideo, "dashcam"))
+register_video("vlog", _family(SentimentVideo, "vlog"))

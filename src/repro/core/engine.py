@@ -1,17 +1,17 @@
-"""The Everest engine: two-phase Top-K queries with guarantees.
+"""The Everest engine: the legacy imperative facade.
 
-:class:`EverestEngine` ties everything together:
+:class:`EverestEngine` predates the declarative query API and is kept
+as a thin back-compat shim: it opens a :class:`~repro.api.session.Session`
+and translates ``topk()`` / ``topk_windows()`` calls into fluent
+queries, so both surfaces share one Phase-1 cache, one executor and
+one cost ledger. New code should use the session API directly::
 
-* Phase 1 (:mod:`repro.core.phase1`) is run once per (video, UDF) and
-  cached — D0 does not depend on K / thres / window size, so parameter
-  sweeps re-run only Phase 2, while every report still accounts the
-  full Phase 1 cost (the paper re-runs it per query; the ledger
-  arithmetic is identical).
-* Phase 2 clones the cached relation and runs the cleaning loop with a
-  fresh cost ledger, so each query's breakdown (Table 8) is exact.
+    from repro.api import Session
+    session = Session(video, scoring, config=EverestConfig.fast())
+    report = session.query().topk(5).guarantee(0.9).run()
 
-Example
--------
+Example (legacy surface)
+------------------------
 >>> from repro.video import TrafficVideo
 >>> from repro.oracle import counting_udf
 >>> from repro.core import EverestEngine
@@ -26,126 +26,66 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
-
-import numpy as np
+from typing import Dict, Optional
 
 from ..config import EverestConfig
-from ..errors import QueryError
-from ..oracle.base import Oracle, ScoringFunction
-from ..oracle.cost import CostModel
+from ..oracle.base import ScoringFunction
 from ..video.synthetic import SyntheticVideo
-from .cleaner import TopKCleaner
-from .phase1 import Phase1Result, run_phase1
-from .result import PhaseBreakdown, QueryReport
-from .windows import (
-    WINDOW_STEP_DIVISOR,
-    WindowCleaner,
-    build_window_relation,
-    num_windows,
-)
+from .phase1 import Phase1Result
+from .result import QueryReport
 
 
 class EverestEngine:
-    """Top-K video analytics with probabilistic guarantees."""
+    """Top-K video analytics with probabilistic guarantees (legacy API)."""
 
     def __init__(
         self,
         video: SyntheticVideo,
         scoring: ScoringFunction,
         *,
-        config: EverestConfig = EverestConfig(),
+        config: Optional[EverestConfig] = None,
         unit_costs: Optional[Dict[str, float]] = None,
     ):
-        self.video = video
-        self.scoring = scoring
-        self.config = config
-        # Labelling and confirming charge the same per-frame latency as
-        # the UDF's oracle, under dedicated Table 8 ledger keys.
-        base = CostModel(unit_costs)
-        oracle_unit = base.unit_costs.get(scoring.cost_key, 0.0)
-        overrides = dict(unit_costs or {})
-        overrides.setdefault("oracle_label", oracle_unit)
-        overrides.setdefault("oracle_confirm", oracle_unit)
-        self._unit_costs = overrides
-        self.phase1_cost = CostModel(overrides)
-        self._phase1: Optional[Phase1Result] = None
-        self._phase1_oracle_calls = 0
+        from ..api.session import Session
 
-    # ------------------------------------------------------------------
-    def _ensure_phase1(self) -> Phase1Result:
-        if self._phase1 is None:
-            oracle = Oracle(
-                self.scoring, self.phase1_cost, cost_key="oracle_label")
-            self._phase1 = run_phase1(
-                self.video,
-                oracle,
-                config=self.config.phase1,
-                diff_config=self.config.diff,
-                cost_model=self.phase1_cost,
-                seed=self.config.seed,
-            )
-            self._phase1_oracle_calls = oracle.calls
-        return self._phase1
+        self.session = Session(
+            video, scoring, config=config, unit_costs=unit_costs)
+
+    # -- session passthroughs ------------------------------------------
+    @property
+    def video(self) -> SyntheticVideo:
+        return self.session.video
+
+    @property
+    def scoring(self) -> ScoringFunction:
+        return self.session.scoring
+
+    @property
+    def config(self) -> EverestConfig:
+        return self.session.config
 
     @property
     def phase1_result(self) -> Phase1Result:
         """The cached Phase 1 artifacts (runs Phase 1 on first use)."""
-        return self._ensure_phase1()
+        return self.session.phase1_result
+
+    @property
+    def phase1_cost(self):
+        """The Phase 1 cost ledger (empty until Phase 1 runs)."""
+        return self.session.phase1_cost_model()
+
+    @property
+    def _unit_costs(self) -> Dict[str, float]:
+        return self.session._unit_costs
 
     def scan_seconds(self) -> float:
         """Simulated cost of scan-and-test with this UDF's oracle."""
-        costs = CostModel(self._unit_costs).unit_costs
-        per_frame = costs.get(self.scoring.cost_key, 0.0) + costs["decode"]
-        return len(self.video) * per_frame
+        return self.session.scan_seconds()
 
-    def _breakdown(self, phase2_cost: CostModel) -> PhaseBreakdown:
-        p1 = self.phase1_cost
-        return PhaseBreakdown(
-            label_sample=p1.seconds("oracle_label"),
-            cmdn_training=p1.seconds("cmdn_train"),
-            populate_d0=(
-                p1.seconds("cmdn_infer")
-                + p1.seconds("diff_detect")
-                + p1.seconds("decode")
-            ),
-            select_candidate=phase2_cost.seconds("select_candidate"),
-            confirm_oracle=(
-                phase2_cost.seconds("oracle_confirm")
-                + phase2_cost.seconds("decode")
-            ),
-        )
-
-    # ------------------------------------------------------------------
+    # -- queries -------------------------------------------------------
     def topk(self, k: int = 50, thres: float = 0.9) -> QueryReport:
         """Top-K frames whose answer is exact with probability >= thres."""
-        phase1 = self._ensure_phase1()
-        phase2_cost = CostModel(self._unit_costs)
-        relation = phase1.relation.copy()
-        confirm_oracle = Oracle(
-            self.scoring,
-            phase2_cost,
-            cost_key="oracle_confirm",
-            budget=self.config.phase2.oracle_budget,
-        )
-
-        def clean_fn(ids: Sequence[int]) -> np.ndarray:
-            phase2_cost.charge("decode", len(ids))
-            return confirm_oracle.score(self.video, ids)
-
-        cleaner = TopKCleaner(
-            relation,
-            clean_fn,
-            self.config.phase2,
-            cost_model=phase2_cost,
-        )
-        outcome = cleaner.run(k, thres)
-        return self._report(
-            outcome, phase1, phase2_cost,
-            k=k, thres=thres, window_size=None,
-            oracle_calls=self._phase1_oracle_calls + confirm_oracle.calls,
-            num_tuples=len(relation),
-        )
+        return self.session.query().topk(k).guarantee(thres).run()
 
     def topk_windows(
         self,
@@ -156,87 +96,10 @@ class EverestEngine:
         window_step: Optional[float] = None,
     ) -> QueryReport:
         """Top-K tumbling windows ranked by mean frame score."""
-        if window_size < 1:
-            raise QueryError("window_size must be >= 1")
-        if window_size == 1:
-            return self.topk(k, thres)
-        phase1 = self._ensure_phase1()
-        if window_step is None:
-            window_step = self.scoring.step / WINDOW_STEP_DIVISOR
-        relation = build_window_relation(
-            phase1.mixtures,
-            phase1.diff_result.retained,
-            phase1.diff_result,
-            window_size=window_size,
-            floor=self.scoring.score_floor,
-            step=window_step,
-            truncate_sigmas=self.config.phase1.truncate_sigmas,
-        )
-        phase2_cost = CostModel(self._unit_costs)
-        confirm_oracle = Oracle(
-            self.scoring,
-            phase2_cost,
-            cost_key="oracle_confirm",
-            budget=self.config.phase2.oracle_budget,
-        )
-        clean_fn = WindowCleaner(
-            video=self.video,
-            oracle=confirm_oracle,
-            window_size=window_size,
-            sample_fraction=self.config.phase2.window_sample_fraction,
-            seed=self.config.seed,
-            cost_model=phase2_cost,
-        )
-        cleaner = TopKCleaner(
-            relation,
-            clean_fn,
-            self.config.phase2,
-            cost_model=phase2_cost,
-        )
-        outcome = cleaner.run(k, thres)
-        return self._report(
-            outcome, phase1, phase2_cost,
-            k=k, thres=thres, window_size=window_size,
-            oracle_calls=self._phase1_oracle_calls + confirm_oracle.calls,
-            num_tuples=len(relation),
-        )
-
-    # ------------------------------------------------------------------
-    def _report(
-        self,
-        outcome,
-        phase1: Phase1Result,
-        phase2_cost: CostModel,
-        *,
-        k: int,
-        thres: float,
-        window_size: Optional[int],
-        oracle_calls: int,
-        num_tuples: int,
-    ) -> QueryReport:
-        best = phase1.grid_result.best_history
-        return QueryReport(
-            video_name=self.video.name,
-            udf_name=self.scoring.name,
-            k=k,
-            thres=thres,
-            window_size=window_size,
-            num_frames=len(self.video),
-            answer_ids=outcome.answer_ids,
-            answer_scores=outcome.answer_scores,
-            confidence=outcome.confidence,
-            iterations=outcome.iterations,
-            cleaned=outcome.cleaned,
-            num_tuples=num_tuples,
-            num_retained=phase1.diff_result.num_retained,
-            oracle_calls=oracle_calls,
-            breakdown=self._breakdown(phase2_cost),
-            scan_seconds=self.scan_seconds(),
-            proxy_hyperparameters=best.hyperparameters,
-            holdout_nll=best.holdout_nll,
-            confidence_trace=outcome.confidence_trace,
-            selection_examine_fraction=(
-                outcome.selection_stats.examine_fraction
-                if outcome.selection_stats else 0.0
-            ),
+        return (
+            self.session.query()
+            .windows(size=window_size, step=window_step)
+            .topk(k)
+            .guarantee(thres)
+            .run()
         )

@@ -60,12 +60,15 @@ def run_phase1(
     video: SyntheticVideo,
     oracle: Oracle,
     *,
-    config: Phase1Config = Phase1Config(),
-    diff_config: DiffDetectorConfig = DiffDetectorConfig(),
+    config: Optional[Phase1Config] = None,
+    diff_config: Optional[DiffDetectorConfig] = None,
     cost_model=None,
     seed: int = 0,
 ) -> Phase1Result:
     """Build D0 for ``video`` under the given oracle scoring function."""
+    config = config if config is not None else Phase1Config()
+    diff_config = diff_config if diff_config is not None \
+        else DiffDetectorConfig()
     num_frames = len(video)
     rng = np.random.default_rng(seed)
     train_size = config.train_sample_size(num_frames)

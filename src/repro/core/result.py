@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -39,6 +40,19 @@ class PhaseBreakdown:
             "select_candidate": self.select_candidate / total,
             "confirm_oracle": self.confirm_oracle / total,
         }
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "label_sample": float(self.label_sample),
+            "cmdn_training": float(self.cmdn_training),
+            "populate_d0": float(self.populate_d0),
+            "select_candidate": float(self.select_candidate),
+            "confirm_oracle": float(self.confirm_oracle),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "PhaseBreakdown":
+        return cls(**{key: float(value) for key, value in data.items()})
 
 
 @dataclass
@@ -102,3 +116,50 @@ class QueryReport:
             f"speedup={self.speedup:.1f}x cleaned={self.cleaned} "
             f"({self.cleaned_fraction:.2%}) iters={self.iterations}"
         )
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe dict (numpy scalars and arrays become builtins)."""
+        return {
+            "video_name": self.video_name,
+            "udf_name": self.udf_name,
+            "k": int(self.k),
+            "thres": float(self.thres),
+            "window_size": (
+                None if self.window_size is None else int(self.window_size)),
+            "num_frames": int(self.num_frames),
+            "answer_ids": [int(i) for i in self.answer_ids],
+            "answer_scores": [float(s) for s in self.answer_scores],
+            "confidence": float(self.confidence),
+            "iterations": int(self.iterations),
+            "cleaned": int(self.cleaned),
+            "num_tuples": int(self.num_tuples),
+            "num_retained": int(self.num_retained),
+            "oracle_calls": int(self.oracle_calls),
+            "breakdown": self.breakdown.to_dict(),
+            "scan_seconds": float(self.scan_seconds),
+            "proxy_hyperparameters": [
+                int(v) for v in self.proxy_hyperparameters],
+            "holdout_nll": float(self.holdout_nll),
+            "confidence_trace": [float(c) for c in self.confidence_trace],
+            "selection_examine_fraction": float(
+                self.selection_examine_fraction),
+        }
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """Serialize to a JSON string (see :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryReport":
+        data = dict(data)
+        data["breakdown"] = PhaseBreakdown.from_dict(
+            data.get("breakdown", {}))
+        data["proxy_hyperparameters"] = tuple(
+            data.get("proxy_hyperparameters", (0, 0)))
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryReport":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -2,7 +2,8 @@
 
 Each module exposes ``run(scale)`` returning structured records and
 ``main(scale)`` printing the paper-style table. The benchmark suite
-(``benchmarks/``) and EXPERIMENTS.md are generated through this code.
+(``benchmarks/``) and ``scripts/collect_experiments.py`` run through
+this code, so their numbers agree.
 """
 
 from .runner import (

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..core.engine import EverestEngine
+from ..api.session import Session
 from ..oracle.detector import counting_udf
 from .runner import (
     ExperimentRecord,
@@ -39,10 +39,10 @@ def run(
     records: List[ExperimentRecord] = []
     for video in videos:
         scoring = counting_udf(object_label_for(video))
-        engine = EverestEngine(video, scoring, config=config)
+        session = Session(video, scoring, config=config)
         for thres in thresholds:
             records.append(run_everest(
-                video, scoring, k=k, thres=thres, engine=engine))
+                video, scoring, k=k, thres=thres, session=session))
     return records
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..core.engine import EverestEngine
+from ..api.session import Session
 from ..oracle.detector import counting_udf
 from .runner import (
     ExperimentRecord,
@@ -41,14 +41,14 @@ def run(
     records: List[ExperimentRecord] = []
     for video in videos:
         scoring = counting_udf(object_label_for(video))
-        engine = EverestEngine(video, scoring, config=config)
+        session = Session(video, scoring, config=config)
         for window in window_sizes:
             # Keep at least ~3K windows so Top-K remains meaningful.
             if window > 1 and len(video) // window < 3 * k:
                 continue
             records.append(run_everest(
                 video, scoring, k=k, thres=thres,
-                window_size=window, engine=engine))
+                window_size=window, session=session))
     return records
 
 

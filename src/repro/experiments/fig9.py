@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..core.engine import EverestEngine
+from ..api.session import Session
 from ..oracle.depth import tailgating_udf
 from .runner import (
     ExperimentRecord,
@@ -53,7 +53,7 @@ def run(
     records: List[ExperimentRecord] = []
     for video in videos:
         scoring = tailgating_udf()
-        engine = EverestEngine(video, scoring, config=config)
+        session = Session(video, scoring, config=config)
         for scenario in scenarios:
             if scenario.window_size and \
                     len(video) // scenario.window_size < 3 * scenario.k:
@@ -61,7 +61,7 @@ def run(
             record = run_everest(
                 video, scoring,
                 k=scenario.k, thres=scenario.thres,
-                window_size=scenario.window_size, engine=engine)
+                window_size=scenario.window_size, session=session)
             record.extras["scenario"] = scenario.label
             records.append(record)
     return records

@@ -3,7 +3,10 @@
 Every experiment module (fig4 ... fig9, table7, table8) builds on the
 helpers here: scaled dataset construction, query execution, metric
 evaluation, and aligned-text table rendering. Benchmarks, examples and
-EXPERIMENTS.md all print through this code, so their numbers agree.
+``scripts/collect_experiments.py`` all print through this code, so
+their numbers agree. Queries run through the declarative API
+(DESIGN.md §4): one :class:`~repro.api.session.Session` per (video,
+UDF) pair, so parameter sweeps share a single Phase 1 build.
 """
 
 from __future__ import annotations
@@ -13,8 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.session import Session
 from ..config import EverestConfig, Phase1Config
-from ..core.engine import EverestEngine
 from ..core.result import QueryReport
 from ..core.windows import window_truth
 from ..metrics import QualityMetrics, evaluate_answer
@@ -27,8 +30,8 @@ from ..video.synthetic import SyntheticVideo
 class ExperimentScale:
     """How large the scaled-down experiments should be.
 
-    ``paper()`` is the scale used for the recorded EXPERIMENTS.md
-    numbers; ``bench()`` trims video lengths so the full benchmark
+    ``paper()`` is the scale ``scripts/collect_experiments.py`` records
+    results at; ``bench()`` trims video lengths so the full benchmark
     suite completes in minutes; ``quick()`` is for tests.
     """
 
@@ -132,22 +135,29 @@ def run_everest(
     thres: float = 0.9,
     window_size: Optional[int] = None,
     config: Optional[EverestConfig] = None,
-    engine: Optional[EverestEngine] = None,
+    session: Optional[Session] = None,
+    engine=None,
 ) -> ExperimentRecord:
     """Run one Everest query and evaluate it against the ground truth.
 
-    Pass ``engine`` to reuse a cached Phase 1 across a parameter sweep
+    Pass ``session`` to reuse a cached Phase 1 across a parameter sweep
     (the report still accounts the full Phase 1 cost each time).
+    ``engine`` is accepted for backward compatibility and contributes
+    its session.
     """
-    if engine is None:
-        engine = EverestEngine(
-            video, scoring, config=config or default_config())
+    if session is None:
+        if engine is not None:
+            session = engine.session
+        else:
+            session = Session(
+                video, scoring, config=config or default_config())
     truth = exact_scores(scoring, video)
+    query = session.query().topk(k).guarantee(thres)
     if window_size and window_size > 1:
-        report = engine.topk_windows(k, thres, window_size=window_size)
+        report = query.windows(size=window_size).run()
         truth_items = window_truth(truth, window_size)
     else:
-        report = engine.topk(k, thres)
+        report = query.run()
         truth_items = truth
     # Continuous UDFs operate at their quantization step's resolution:
     # true scores within one step of the K-th tie with it (counting

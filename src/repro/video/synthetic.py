@@ -1,6 +1,7 @@
 """Deterministic, seeded scene simulators standing in for real videos.
 
-Everest's pipeline needs three things from a video (see DESIGN.md §1):
+Everest's pipeline needs three things from a video (see DESIGN.md §1,
+"Video substrate", for the full rationale):
 
 1. pixels that are *predictive but noisy* evidence of the ground-truth
    score, so a learned proxy produces calibrated, imperfect

@@ -1,0 +1,318 @@
+"""Tests for the declarative query API (sessions, builder, plans).
+
+Covers the acceptance criteria of the API redesign: fluent queries
+produce reports identical to the legacy engine's, a sweep on one
+session runs Phase 1 exactly once, builder clauses validate eagerly,
+window-query edges behave, and reports round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Query,
+    QueryPlan,
+    Session,
+    open_session,
+    phase1_key,
+    resolve_udf,
+    resolve_video,
+)
+from repro.config import EverestConfig, Phase2Config
+from repro.core import EverestEngine
+from repro.core.result import PhaseBreakdown, QueryReport
+from repro.core.windows import num_windows
+from repro.errors import (
+    ConfigurationError,
+    OracleBudgetExceededError,
+    QueryError,
+)
+from repro.oracle import counting_udf
+
+
+def counting_udf_with_counter(label="car"):
+    """A counting UDF that also counts how many frames it scored."""
+    inner = counting_udf(label)
+    calls = {"frames": 0}
+
+    def score_frames(frames):
+        calls["frames"] += len(frames)
+        return inner.score_frames(frames)
+
+    return dataclasses.replace(
+        inner, score_frames=score_frames, exact_scores_fn=None), calls
+
+
+@pytest.fixture(scope="module")
+def session(traffic_video, fast_config):
+    """A shared session so most tests reuse one Phase 1 build."""
+    return Session(traffic_video, counting_udf("car"), config=fast_config)
+
+
+class TestBuilderValidation:
+    def test_clauses_validate_eagerly(self, session):
+        query = session.query()
+        with pytest.raises(QueryError):
+            query.topk(0)
+        with pytest.raises(QueryError):
+            query.topk(-3)
+        with pytest.raises(QueryError):
+            query.guarantee(0.0)
+        with pytest.raises(QueryError):
+            query.guarantee(1.5)
+        with pytest.raises(QueryError):
+            query.windows(size=0)
+        with pytest.raises(QueryError):
+            query.windows(size=30, step=0.0)
+        with pytest.raises(QueryError):
+            query.windows(size=30, step=-1.0)
+        with pytest.raises(ConfigurationError):
+            query.oracle_budget(0)
+        with pytest.raises(ConfigurationError):
+            query.with_config("not a config")
+
+    def test_builder_is_immutable(self, session):
+        base = session.query().guarantee(0.95)
+        forked = base.topk(5)
+        windowed = base.windows(size=30)
+        assert base.plan().k == 50  # default untouched by the forks
+        assert forked.plan().k == 5
+        assert base.plan().mode == "frames"
+        assert windowed.plan().mode == "windows"
+        assert forked.plan().thres == windowed.plan().thres == 0.95
+
+    def test_plan_compiles_without_running_phase1(
+            self, traffic_video, fast_config):
+        fresh = Session(traffic_video, counting_udf("car"),
+                        config=fast_config)
+        plan = fresh.query().windows(size=30).topk(10).plan()
+        text = fresh.query().windows(size=30).topk(10).explain()
+        assert isinstance(plan, QueryPlan)
+        assert fresh.phase1_runs == 0
+        assert "tumbling-windows(size=30" in text
+        assert traffic_video.name in text
+        assert "top-10" in text
+
+    def test_plan_fields(self, session, traffic_video):
+        plan = (session.query()
+                .windows(size=50).topk(7).guarantee(0.8)
+                .oracle_budget(123).plan())
+        assert plan.video_name == traffic_video.name
+        assert plan.k == 7 and plan.thres == 0.8
+        assert plan.window_size == 50
+        # Default step: UDF step / 4 for a counting UDF.
+        assert plan.window_step == pytest.approx(0.25)
+        assert plan.oracle_budget == 123
+        assert plan.num_tuples == num_windows(len(traffic_video), 50)
+
+    def test_numpy_integers_accepted(self, session):
+        # k and window size often come from np.arange / array indexing.
+        plan = (session.query()
+                .topk(np.int64(5)).windows(size=np.int64(30)).plan())
+        assert plan.k == 5 and isinstance(plan.k, int)
+        assert plan.window_size == 30 and isinstance(plan.window_size, int)
+
+    def test_hand_built_plan_validates(self, session, fast_config):
+        with pytest.raises(ValueError):
+            QueryPlan(
+                video_name="x", udf_name="y", num_frames=10,
+                mode="nonsense", k=1, thres=0.9, window_size=None,
+                window_step=None, oracle_budget=None,
+                config=fast_config, unit_costs={})
+        with pytest.raises(ValueError):
+            QueryPlan(
+                video_name="x", udf_name="y", num_frames=10,
+                mode="windows", k=1, thres=0.9, window_size=10,
+                window_step=None, oracle_budget=None,
+                config=fast_config, unit_costs={})
+
+
+class TestSessionQueries:
+    def test_frame_query_matches_engine(self, traffic_video, fast_config):
+        scoring = counting_udf("car")
+        fresh = Session(traffic_video, scoring, config=fast_config)
+        report = fresh.query().topk(5).guarantee(0.9).run()
+        legacy = EverestEngine(
+            traffic_video, scoring, config=fast_config).topk(5, 0.9)
+        assert report.answer_ids == legacy.answer_ids
+        assert report.confidence == legacy.confidence
+        assert report.oracle_calls == legacy.oracle_calls
+        assert report.cleaned == legacy.cleaned
+
+    def test_window_query_matches_engine(self, traffic_video, fast_config):
+        scoring = counting_udf("car")
+        fresh = Session(traffic_video, scoring, config=fast_config)
+        report = (fresh.query()
+                  .windows(size=30).topk(5).guarantee(0.9).run())
+        legacy = EverestEngine(
+            traffic_video, scoring,
+            config=fast_config).topk_windows(5, 0.9, window_size=30)
+        assert report.answer_ids == legacy.answer_ids
+        assert report.confidence == legacy.confidence
+        assert report.oracle_calls == legacy.oracle_calls
+        assert report.window_size == legacy.window_size == 30
+
+    def test_sweep_runs_phase1_once(self, traffic_video, fast_config):
+        scoring, calls = counting_udf_with_counter()
+        fresh = Session(traffic_video, scoring, config=fast_config)
+        first = fresh.query().topk(5).guarantee(0.9).run()
+        second = fresh.query().windows(size=30).topk(5).guarantee(0.9).run()
+        assert fresh.phase1_runs == 1
+        # Oracle label calls were charged exactly once: the UDF scored
+        # the Phase 1 sample once plus each query's confirmations.
+        phase1_labels = fresh.phase1().oracle_calls
+        expected = first.oracle_calls + second.oracle_calls - phase1_labels
+        assert calls["frames"] == expected
+        # Both reports still account the identical full Phase 1 cost.
+        assert first.breakdown.label_sample == pytest.approx(
+            second.breakdown.label_sample)
+
+    def test_phase2_override_hits_phase1_cache(
+            self, traffic_video, fast_config):
+        fresh = Session(traffic_video, counting_udf("car"),
+                        config=fast_config)
+        fresh.query().topk(5).guarantee(0.9).run()
+        override = dataclasses.replace(
+            fast_config, phase2=Phase2Config(batch_size=4))
+        assert phase1_key(override) == phase1_key(fast_config)
+        fresh.query().with_config(override).topk(5).guarantee(0.9).run()
+        assert fresh.phase1_runs == 1
+
+    def test_facade_phase1_cost_ledger(self, traffic_video, fast_config):
+        engine = EverestEngine(
+            traffic_video, counting_udf("car"), config=fast_config)
+        ledger = engine.phase1_cost  # stable handle before Phase 1
+        assert ledger.seconds("oracle_label") == 0.0
+        engine.topk(5, 0.9)
+        assert ledger is engine.phase1_cost
+        assert ledger.seconds("oracle_label") > 0
+
+    def test_oracle_budget_clause_enforced(self, traffic_video, fast_config):
+        fresh = Session(traffic_video, counting_udf("car"),
+                        config=fast_config)
+        with pytest.raises(OracleBudgetExceededError):
+            (fresh.query().topk(20).guarantee(0.99)
+             .oracle_budget(3).run())
+
+    def test_session_open_with_strings(self, fast_config):
+        opened = Session.open(
+            "traffic", "count[person]",
+            config=fast_config, num_frames=600, seed=9)
+        assert opened.video.name == "traffic"
+        assert opened.scoring.name == "count[person]"
+
+    def test_executor_rejects_foreign_plan(
+            self, session, traffic_video, fast_config):
+        other = Session(
+            resolve_video("traffic", num_frames=400, seed=2),
+            counting_udf("car"), config=fast_config)
+        foreign = other.query().topk(3).plan()
+        with pytest.raises(QueryError):
+            session.execute(foreign)
+        # Same video *name* but a different video is still foreign.
+        from repro.video import TrafficVideo
+        impostor = Session(
+            TrafficVideo(traffic_video.name, 400, seed=2),
+            counting_udf("car"), config=fast_config)
+        with pytest.raises(QueryError):
+            session.execute(impostor.query().topk(3).plan())
+
+
+class TestWindowEdges:
+    def test_window_size_one_delegates_to_frame_path(self, session):
+        plan = session.query().windows(size=1).topk(5).plan()
+        assert plan.mode == "frames"
+        assert plan.window_size is None
+        report = session.query().windows(size=1).topk(5).guarantee(0.9).run()
+        assert report.window_size is None
+
+    def test_invalid_window_step_via_engine_facade(
+            self, traffic_video, fast_config):
+        engine = EverestEngine(
+            traffic_video, counting_udf("car"), config=fast_config)
+        with pytest.raises(QueryError):
+            engine.topk_windows(5, 0.9, window_size=30, window_step=0.0)
+        with pytest.raises(QueryError):
+            engine.topk_windows(5, 0.9, window_size=-2)
+
+    def test_window_ids_in_range(self, session, traffic_video):
+        report = (session.query()
+                  .windows(size=40).topk(5).guarantee(0.9).run())
+        count = num_windows(len(traffic_video), 40)
+        assert all(0 <= w < count for w in report.answer_ids)
+
+
+class TestRegistry:
+    def test_resolve_udf_specs(self):
+        assert resolve_udf("count").name == "count[car]"
+        assert resolve_udf("count[person]").name == "count[person]"
+        assert resolve_udf("tailgating").name == "tailgating"
+        assert resolve_udf("tailgating").quantization_step is not None
+        assert resolve_udf("sentiment").name == "happiness"
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(ConfigurationError):
+            resolve_udf("no-such-udf")
+        with pytest.raises(ConfigurationError):
+            resolve_udf("count[car")  # malformed spec
+        with pytest.raises(ConfigurationError):
+            resolve_video("no-such-video")
+
+    def test_register_video_rejects_dataset_shadowing(self):
+        from repro.api import register_video
+        with pytest.raises(ConfigurationError):
+            register_video("taipei-bus", lambda **kw: None)
+
+    def test_open_session_with_dataset_name(self, fast_config):
+        opened = open_session(
+            "dashcam-california", "tailgating",
+            config=fast_config, min_frames=500)
+        assert opened.video.name == "dashcam-california"
+        assert opened.query().topk(3).plan().udf_name == \
+            opened.scoring.name
+
+
+class TestReportJson:
+    def test_round_trip_with_numpy_values(self):
+        report = QueryReport(
+            video_name="rt", udf_name="count[car]",
+            k=np.int64(3), thres=np.float64(0.9),
+            window_size=np.int64(30), num_frames=np.int64(900),
+            answer_ids=[np.int64(4), np.int64(1), np.int64(7)],
+            answer_scores=list(np.array([5.0, 4.0, 3.5])),
+            confidence=np.float64(0.93),
+            iterations=np.int64(6), cleaned=np.int64(48),
+            num_tuples=np.int64(30), num_retained=np.int64(700),
+            oracle_calls=np.int64(120),
+            breakdown=PhaseBreakdown(
+                label_sample=1.0, cmdn_training=2.0, populate_d0=3.0,
+                select_candidate=0.5, confirm_oracle=4.0),
+            scan_seconds=np.float64(1000.0),
+            proxy_hyperparameters=(np.int64(3), np.int64(16)),
+            holdout_nll=np.float64(1.25),
+            confidence_trace=list(np.array([0.2, 0.5, 0.93])),
+            selection_examine_fraction=np.float64(0.1),
+        )
+        text = report.to_json()
+        back = QueryReport.from_json(text)
+        assert back.answer_ids == [4, 1, 7]
+        assert back.answer_scores == [5.0, 4.0, 3.5]
+        assert back.proxy_hyperparameters == (3, 16)
+        assert back.breakdown == report.breakdown
+        assert back.confidence == pytest.approx(0.93)
+        assert back.window_size == 30
+        # A second round trip is exact: everything is builtin types now.
+        assert QueryReport.from_json(back.to_json()) == back
+
+    def test_round_trip_real_report(self, session):
+        report = session.query().topk(5).guarantee(0.9).run()
+        back = QueryReport.from_json(report.to_json())
+        assert back.answer_ids == [int(i) for i in report.answer_ids]
+        assert back.confidence == pytest.approx(report.confidence)
+        assert back.summary() == report.summary()
+        assert back.breakdown.total_seconds == pytest.approx(
+            report.breakdown.total_seconds)
