@@ -10,7 +10,7 @@ from repro.api import Session
 from repro.experiments.runner import config_for, counting_videos
 from repro.oracle import counting_udf
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_session_sweep_builds_phase1_once(bench_scale, benchmark):

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.experiments import fig4
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_fig4_overall(bench_scale, benchmark):

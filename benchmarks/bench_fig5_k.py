@@ -10,7 +10,7 @@ import numpy as np
 from repro.experiments import fig5
 from repro.experiments.runner import counting_videos
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_fig5_impact_of_k(bench_scale, benchmark):

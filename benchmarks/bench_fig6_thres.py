@@ -9,7 +9,7 @@ far less than the threshold tightening would naively suggest.
 from repro.experiments import fig6
 from repro.experiments.runner import counting_videos
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_fig6_impact_of_thres(bench_scale, benchmark):

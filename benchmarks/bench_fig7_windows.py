@@ -8,7 +8,7 @@ choices and more frames confirmed per cleaning).
 from repro.experiments import fig7
 from repro.experiments.runner import counting_videos
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_fig7_windows(bench_scale, benchmark):

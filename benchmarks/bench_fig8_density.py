@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.experiments import fig8
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_fig8_density(bench_scale, benchmark):

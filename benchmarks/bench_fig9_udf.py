@@ -6,7 +6,7 @@ high precision with a material speedup in each.
 
 from repro.experiments import fig9
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_fig9_udf(bench_scale, benchmark):

@@ -1,0 +1,85 @@
+"""Bench for the parallel sweep executor: speedup vs. worker count.
+
+Runs a fig5-style K sweep (two videos x four Ks) with Phase 1
+prebuilt — the regime the pool accelerates — at 1, 2 and 4 workers,
+printing the wall-clock speedup curve. Asserts the two halves of the
+acceptance contract:
+
+* reports are byte-identical (``QueryReport.to_json``) at every
+  worker count, and
+* with at least 4 usable CPUs, 4 workers run the sweep >= 2x faster
+  than 1 worker (on fewer CPUs the speedup is reported, not asserted —
+  a pool cannot beat the hardware).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.runner import (
+    config_for,
+    counting_videos,
+    format_table,
+)
+from repro.api import Session
+from repro.oracle import counting_udf
+from repro.parallel import ParallelRunner
+
+from bench_util import available_cpus
+
+WORKER_COUNTS = (1, 2, 4)
+SWEEP_KS = (5, 25, 50, 100)
+
+
+def _sweep_grid(bench_scale):
+    grid = []
+    for video in counting_videos(bench_scale)[:2]:
+        session = Session(
+            video, counting_udf(video.object_label),
+            config=config_for(bench_scale))
+        # Prebuild (and cache) Phase 1 so every timed run measures the
+        # fanned Phase 2 work, not a shared one-off build.
+        session.phase1()
+        base = session.query().guarantee(0.9)
+        grid.extend(
+            (session, base.topk(k).plan()) for k in SWEEP_KS)
+    return grid
+
+
+def test_parallel_sweep_speedup(bench_scale):
+    grid = _sweep_grid(bench_scale)
+
+    timings = {}
+    jsons = {}
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        reports = ParallelRunner(workers).run_grid(grid)
+        timings[workers] = time.perf_counter() - start
+        jsons[workers] = [report.to_json() for report in reports]
+
+    rows = [
+        [
+            f"{workers}",
+            f"{timings[workers]:.2f}s",
+            f"{timings[1] / timings[workers]:.2f}x",
+        ]
+        for workers in WORKER_COUNTS
+    ]
+    print()
+    print(format_table(
+        ("workers", "wall-clock", "speedup"),
+        rows,
+        title=f"Parallel sweep: {len(grid)} grid points, "
+              f"{available_cpus()} usable CPUs",
+    ))
+
+    # Bit-identical reports at every worker count.
+    for workers in WORKER_COUNTS[1:]:
+        assert jsons[workers] == jsons[1], f"workers={workers}"
+
+    # Wall-clock acceptance: >= 2x at 4 workers, when the hardware can.
+    if available_cpus() >= 4:
+        speedup = timings[1] / timings[4]
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with 4 workers on "
+            f"{available_cpus()} CPUs, got {speedup:.2f}x")

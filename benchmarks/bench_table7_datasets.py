@@ -9,7 +9,7 @@ import numpy as np
 from repro.experiments import table7
 from repro.video import build_dataset
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_table7_output(bench_scale, benchmark, capsys):

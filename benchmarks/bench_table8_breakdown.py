@@ -8,7 +8,7 @@ fraction of frames is cleaned.
 
 from repro.experiments import table8
 
-from conftest import run_once
+from bench_util import run_once
 
 
 def test_table8_breakdown(bench_scale, benchmark):

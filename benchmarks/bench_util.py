@@ -1,0 +1,30 @@
+"""Shared benchmark helpers, importable from pool workers.
+
+Benchmarks used to pull :func:`run_once` straight out of
+``conftest.py``. That module name is special to pytest and ambiguous
+on ``sys.path`` (the tests directory has one too), so anything pickled
+by reference against it — exactly what a process-pool worker does —
+resolves to the wrong module or none at all. Helpers that benchmark
+*code* (rather than fixtures) therefore live here under an
+unambiguous module name, keeping every ``bench_*`` module safe to use
+with ``ParallelRunner`` / ``REPRO_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full run of a macro-benchmark."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0)
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

@@ -7,6 +7,11 @@ query-plan path (DESIGN.md §4) — but at ``ExperimentScale.bench()``
 minutes. Each bench prints the paper-style table it regenerates;
 ``pytest-benchmark`` times a single full run via
 ``benchmark.pedantic(rounds=1)`` because the workloads are macro-scale.
+
+This module holds *fixtures only*. Plain helpers live in
+``bench_util.py`` so nothing a pool worker needs ever pickles against
+the ambiguous ``conftest`` module name — module-level state here is
+never captured by workers (DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -19,10 +24,3 @@ from repro.experiments import ExperimentScale
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     return ExperimentScale.bench()
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Time one full run of a macro-benchmark."""
-    return benchmark.pedantic(
-        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
-        warmup_rounds=0)

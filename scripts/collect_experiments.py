@@ -5,10 +5,16 @@ rendered tables to ``results/experiments_output.txt``, and persists
 every query report as JSON (``results/reports.json``, via
 ``QueryReport.to_json``) so later analysis can reload the raw numbers
 without re-running the sweeps.
+
+``--workers N`` (or ``REPRO_WORKERS=N``) fans the parameter sweeps
+(fig5/6/7/9, table8) across a process pool: Phase 1 is still built
+once per video, workers run only Phase 2, and reports are identical
+to a serial run up to deterministic-timing normalization.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import time
@@ -43,6 +49,14 @@ def collect_reports(
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool width for the parameter sweeps "
+             "(default: REPRO_WORKERS, else serial)")
+    args = parser.parse_args()
+    workers = args.workers
+
     scale = ExperimentScale.paper()
     os.makedirs("results", exist_ok=True)
     out_path = os.path.join("results", "experiments_output.txt")
@@ -61,12 +75,15 @@ def main() -> None:
     sections = [
         ("table7", lambda: (table7.main(scale), None)),
         ("fig4", lambda: records_main(fig4)),
-        ("table8", lambda: records_main(table8)),
-        ("fig5", lambda: records_main(fig5, videos=sweep_videos)),
-        ("fig6", lambda: records_main(fig6, videos=sweep_videos)),
-        ("fig7", lambda: records_main(fig7, videos=sweep_videos)),
+        ("table8", lambda: records_main(table8, workers=workers)),
+        ("fig5", lambda: records_main(
+            fig5, videos=sweep_videos, workers=workers)),
+        ("fig6", lambda: records_main(
+            fig6, videos=sweep_videos, workers=workers)),
+        ("fig7", lambda: records_main(
+            fig7, videos=sweep_videos, workers=workers)),
         ("fig8", lambda: records_main(fig8)),
-        ("fig9", lambda: records_main(fig9)),
+        ("fig9", lambda: records_main(fig9, workers=workers)),
     ]
     all_reports: list = []
     with open(out_path, "w") as handle:

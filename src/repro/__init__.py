@@ -39,6 +39,7 @@ from .api import (
     Session,
     open_session,
 )
+from .parallel import ParallelRunner, resolve_workers
 from .errors import (
     ConfigurationError,
     GuaranteeUnreachableError,
@@ -58,6 +59,8 @@ __all__ = [
     "Query",
     "QueryPlan",
     "QueryExecutor",
+    "ParallelRunner",
+    "resolve_workers",
     "open_session",
     "EverestEngine",
     "QueryReport",

@@ -26,7 +26,7 @@ over this layer.
 from .session import Phase1Entry, Session, phase1_key
 from .query import Query
 from .plan import QueryPlan
-from .executor import QueryExecutor
+from .executor import ExecutionDetail, QueryExecutor
 from .registry import (
     list_udfs,
     list_videos,
@@ -44,6 +44,7 @@ __all__ = [
     "Query",
     "QueryPlan",
     "QueryExecutor",
+    "ExecutionDetail",
     "open_session",
     "register_udf",
     "register_video",

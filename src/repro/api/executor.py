@@ -7,11 +7,17 @@ window-level uncertain relation, runs the cleaning loop with a fresh
 cost ledger, and assembles the :class:`~repro.core.result.QueryReport`.
 Each execution clones the cached relation, so a query never perturbs
 its session and per-query Table 8 breakdowns stay exact.
+
+Constructed with ``workers > 1``, the executor fans :meth:`execute_many`
+across a process pool (DESIGN.md §6): Phase 1 is built once per
+configuration in this process and shipped to workers that run only
+Phase 2, with reports returned in plan order.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -25,13 +31,56 @@ from .plan import QueryPlan
 from .session import Phase1Entry, Session
 
 
-class QueryExecutor:
-    """Executes compiled plans against one session."""
+@dataclass
+class ExecutionDetail:
+    """A report plus the per-query Phase 2 ledger that produced it.
 
-    def __init__(self, session: Session):
+    The ledger is what parallel sweeps merge (see
+    :meth:`~repro.oracle.cost.CostModel.merge_from`): it contains only
+    this query's Phase 2 charges, never the shared Phase 1 ledger.
+    """
+
+    report: QueryReport
+    phase2_cost: CostModel
+
+
+class QueryExecutor:
+    """Executes compiled plans against one session.
+
+    ``workers`` sets the default fan-out of :meth:`execute_many`
+    (``None`` resolves through ``REPRO_WORKERS``, defaulting to
+    serial). Single-plan :meth:`execute` always runs in-process.
+    """
+
+    def __init__(self, session: Session, *, workers: Optional[int] = None):
+        from ..parallel.pool import resolve_workers
+
         self.session = session
+        self.workers = resolve_workers(workers)
 
     def execute(self, plan: QueryPlan) -> QueryReport:
+        return self.execute_detailed(plan).report
+
+    def execute_many(
+        self,
+        plans: Sequence[QueryPlan],
+        *,
+        workers: Optional[int] = None,
+    ) -> List[QueryReport]:
+        """Execute a sweep of plans, in plan order.
+
+        With more than one worker the sweep runs on a process pool via
+        :class:`~repro.parallel.runner.ParallelRunner` (deterministic
+        timing is forced so worker count cannot change the reports);
+        otherwise plans execute serially in-process.
+        """
+        from ..parallel.runner import ParallelRunner
+
+        count = self.workers if workers is None else workers
+        runner = ParallelRunner(count)
+        return runner.run_sweep(self.session, plans)
+
+    def execute_detailed(self, plan: QueryPlan) -> ExecutionDetail:
         session = self.session
         if (plan.video_name != session.video.name
                 or plan.num_frames != len(session.video)
@@ -49,7 +98,8 @@ class QueryExecutor:
     # ------------------------------------------------------------------
     def _phase2_context(self, plan: QueryPlan):
         """A fresh per-query cost ledger plus the confirming oracle."""
-        phase2_cost = CostModel(plan.unit_costs)
+        phase2_cost = CostModel(
+            plan.unit_costs, wall_clock=not plan.deterministic_timing)
         confirm_oracle = Oracle(
             self.session.scoring,
             phase2_cost,
@@ -60,7 +110,7 @@ class QueryExecutor:
 
     def _clean(
         self, plan, entry, relation, clean_fn, phase2_cost, confirm_oracle
-    ) -> QueryReport:
+    ) -> ExecutionDetail:
         """The shared Phase 2 tail: cleaning loop + report assembly."""
         cleaner = TopKCleaner(
             relation,
@@ -69,15 +119,16 @@ class QueryExecutor:
             cost_model=phase2_cost,
         )
         outcome = cleaner.run(plan.k, plan.thres)
-        return self._report(
+        report = self._report(
             plan, outcome, entry, phase2_cost,
             oracle_calls=entry.oracle_calls + confirm_oracle.calls,
             num_tuples=len(relation),
         )
+        return ExecutionDetail(report=report, phase2_cost=phase2_cost)
 
     def _run_frames(
         self, plan: QueryPlan, entry: Phase1Entry
-    ) -> QueryReport:
+    ) -> ExecutionDetail:
         session = self.session
         phase2_cost, confirm_oracle = self._phase2_context(plan)
         relation = entry.result.relation.copy()
@@ -91,7 +142,7 @@ class QueryExecutor:
 
     def _run_windows(
         self, plan: QueryPlan, entry: Phase1Entry
-    ) -> QueryReport:
+    ) -> ExecutionDetail:
         session = self.session
         phase1 = entry.result
         assert plan.window_size is not None and plan.window_step is not None

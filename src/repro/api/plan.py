@@ -40,6 +40,10 @@ class QueryPlan:
     config: EverestConfig
     #: Resolved per-unit simulated latencies (ledger key -> seconds).
     unit_costs: Dict[str, float]
+    #: Skip wall-clock measurement of the algorithmic stages so the
+    #: report depends only on the plan and the Phase 1 artifacts —
+    #: required for reports to be bit-identical across pool workers.
+    deterministic_timing: bool = False
 
     def __post_init__(self) -> None:
         # Builder validation should make these unreachable; they guard

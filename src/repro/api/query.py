@@ -48,6 +48,7 @@ class Query:
     _window_step: Optional[float] = None
     _oracle_budget: object = _UNSET
     _config: Optional[EverestConfig] = None
+    _deterministic_timing: bool = False
 
     # -- clauses -------------------------------------------------------
     def topk(self, k: int) -> "Query":
@@ -111,6 +112,17 @@ class Query:
                 f"with_config expects an EverestConfig, got {config!r}")
         return dataclasses.replace(self, _config=config)
 
+    def deterministic_timing(self, enabled: bool = True) -> "Query":
+        """Make the report a pure function of the plan and Phase 1.
+
+        Disables wall-clock measurement of the algorithmic stages
+        (select-candidate), which is the only nondeterministic input to
+        a :class:`~repro.core.result.QueryReport`. Parallel execution
+        forces this on so serial and pooled runs are bit-identical.
+        """
+        return dataclasses.replace(
+            self, _deterministic_timing=bool(enabled))
+
     # -- compilation and execution -------------------------------------
     def plan(self) -> QueryPlan:
         """Compile to an executable plan (cheap; Phase 1 not run)."""
@@ -140,12 +152,31 @@ class Query:
             oracle_budget=budget,
             config=config,
             unit_costs=session.resolved_unit_costs(),
+            deterministic_timing=self._deterministic_timing,
         )
 
     def explain(self) -> str:
         """The compiled plan, rendered for humans."""
         return self.plan().explain()
 
-    def run(self) -> "QueryReport":
-        """Compile and execute, returning the full query report."""
-        return self.session.execute(self.plan())
+    def run(
+        self,
+        *,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+    ) -> "QueryReport":
+        """Compile and execute, returning the full query report.
+
+        ``parallel=True`` routes execution through the sweep path
+        (:class:`~repro.parallel.runner.ParallelRunner`) under its
+        deterministic-timing contract, making the report bit-identical
+        to ``self.deterministic_timing().run()``. A single plan is not
+        worth a pool, so the runner's serial fallback executes it
+        in-process; actual fan-out happens when several plans go
+        through :meth:`Session.execute_many` together. ``workers``
+        defaults to the ``REPRO_WORKERS`` environment variable.
+        """
+        if not parallel:
+            return self.session.execute(self.plan())
+        return self.session.execute_many(
+            [self.plan()], workers=workers)[0]

@@ -18,7 +18,7 @@ builds a second relation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..config import EverestConfig
 from ..oracle.base import Oracle, ScoringFunction
@@ -118,6 +118,24 @@ class Session:
 
         return QueryExecutor(self).execute(plan)
 
+    def execute_many(
+        self,
+        plans: "Sequence[QueryPlan]",
+        *,
+        workers: Optional[int] = None,
+    ) -> "List[QueryReport]":
+        """Run a sweep of plans, fanning across a process pool.
+
+        Phase 1 is built once per configuration in this process and
+        shared with the workers (DESIGN.md §6); reports come back in
+        plan order and are identical for every worker count.
+        ``workers`` defaults to the ``REPRO_WORKERS`` environment
+        variable, falling back to serial execution.
+        """
+        from .executor import QueryExecutor
+
+        return QueryExecutor(self, workers=workers).execute_many(plans)
+
     # ------------------------------------------------------------------
     def resolved_unit_costs(self) -> Dict[str, float]:
         """The full ledger-key -> seconds map queries will charge."""
@@ -158,6 +176,22 @@ class Session:
             )
             self._phase1_cache[key] = entry
         return entry
+
+    def adopt_phase1(
+        self,
+        entry: Phase1Entry,
+        config: Optional[EverestConfig] = None,
+    ) -> None:
+        """Seed the Phase 1 cache with an externally built entry.
+
+        This is how pool workers skip redundant CMDN training: the
+        parent process builds (or fetches) the entry once, serializes
+        it, and each worker adopts it into a fresh session before
+        executing plans. The entry must have been built under the same
+        ``(phase1, diff, seed)`` configuration it is adopted for.
+        """
+        config = config if config is not None else self.config
+        self._phase1_cache[phase1_key(config)] = entry
 
     @property
     def phase1_result(self) -> Phase1Result:

@@ -76,6 +76,7 @@ class TopKCleaner:
 
     # ------------------------------------------------------------------
     def _clean_positions(self, positions: np.ndarray) -> None:
+        positions = np.asarray(positions, dtype=np.int64)
         ids = [int(self.relation.ids[p]) for p in positions]
         if self.reader is not None:
             self.reader.prefetch(len(ids))
@@ -83,9 +84,10 @@ class TopKCleaner:
         if scores.shape != (len(ids),):
             raise QueryError(
                 f"clean_fn returned shape {scores.shape} for {len(ids)} ids")
-        for position, score in zip(positions, scores):
-            self.state.remove(int(position))
-            self.relation.mark_certain(int(position), float(score))
+        # One vectorized pass per batch over the joint CDF and the
+        # relation instead of one O(L) update per tuple.
+        self.state.remove_many(positions)
+        self.relation.mark_certain_many(positions, scores)
         self.cleaned += len(ids)
 
     def _certain_topk(self, k: int) -> Tuple[np.ndarray, int, int]:

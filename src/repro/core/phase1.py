@@ -26,12 +26,46 @@ from ..models.cmdn import ProxyScorer
 from ..models.mdn import GaussianMixture
 from ..models.trainer import GridResult, train_proxy_grid
 from ..oracle.base import Oracle
+from ..parallel.pool import resolve_workers, thread_map
 from ..video.diff import DifferenceDetector, DiffResult
 from ..video.synthetic import SyntheticVideo
 from .uncertain import UncertainRelation, build_relation
 
 #: Chunk size for proxy inference over the retained frames.
 _INFER_CHUNK = 2_048
+
+
+def predict_mixtures_chunked(
+    proxy: ProxyScorer,
+    video: SyntheticVideo,
+    retained: np.ndarray,
+    *,
+    chunk: int = _INFER_CHUNK,
+    workers: Optional[int] = None,
+) -> GaussianMixture:
+    """Proxy inference over ``retained`` frames, chunked and parallel.
+
+    Chunks are scored independently (threads; numpy releases the GIL
+    in the dense kernels) and concatenated in order, so the result is
+    identical for every worker count.
+    """
+
+    def infer(bounds) -> GaussianMixture:
+        start, stop = bounds
+        return proxy.predict_mixtures(
+            video.batch_pixels(retained[start:stop]))
+
+    spans = [(start, min(start + chunk, retained.size))
+             for start in range(0, retained.size, chunk)]
+    parts = thread_map(infer, spans, workers=resolve_workers(workers))
+    if not parts:  # pragma: no cover - empty video guard
+        empty = np.zeros((0, 1))
+        return GaussianMixture(empty, empty.copy(), empty.copy())
+    return GaussianMixture(
+        pi=np.concatenate([p.pi for p in parts]),
+        mu=np.concatenate([p.mu for p in parts]),
+        sigma=np.concatenate([p.sigma for p in parts]),
+    )
 
 
 @dataclass
@@ -64,8 +98,14 @@ def run_phase1(
     diff_config: Optional[DiffDetectorConfig] = None,
     cost_model=None,
     seed: int = 0,
+    infer_workers: Optional[int] = None,
 ) -> Phase1Result:
-    """Build D0 for ``video`` under the given oracle scoring function."""
+    """Build D0 for ``video`` under the given oracle scoring function.
+
+    ``infer_workers`` parallelizes step 4's chunked proxy inference
+    (default: the ``REPRO_WORKERS`` environment variable, else serial);
+    the result is identical for every worker count.
+    """
     config = config if config is not None else Phase1Config()
     diff_config = diff_config if diff_config is not None \
         else DiffDetectorConfig()
@@ -109,25 +149,11 @@ def run_phase1(
         cost_model.charge("diff_detect", num_frames)
         cost_model.charge("decode", num_frames)
 
-    # 4. Proxy inference on the retained frames.
+    # 4. Proxy inference on the retained frames (chunk-parallel).
     retained = diff_result.retained
     proxy = grid_result.proxy
-    pis, mus, sigmas = [], [], []
-    for start in range(0, retained.size, _INFER_CHUNK):
-        chunk = retained[start:start + _INFER_CHUNK]
-        mix = proxy.predict_mixtures(video.batch_pixels(chunk))
-        pis.append(mix.pi)
-        mus.append(mix.mu)
-        sigmas.append(mix.sigma)
-    if pis:
-        mixtures = GaussianMixture(
-            pi=np.concatenate(pis),
-            mu=np.concatenate(mus),
-            sigma=np.concatenate(sigmas),
-        )
-    else:  # pragma: no cover - empty video guard
-        empty = np.zeros((0, 1))
-        mixtures = GaussianMixture(empty, empty.copy(), empty.copy())
+    mixtures = predict_mixtures_chunked(
+        proxy, video, retained, workers=infer_workers)
     if cost_model is not None:
         cost_model.charge("cmdn_infer", retained.size)
 

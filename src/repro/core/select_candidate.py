@@ -100,22 +100,22 @@ class CandidateSelector:
         cdf = self.relation.cdf
         pmf = self.relation.pmf
 
+        # One fused exclusion matrix over every level of the case
+        # analysis: column 0 is S_k, the last column is S_p.
+        levels = np.arange(k_level, p_level + 1)
+        excluding = self.state.joint_cdf_excluding_levels(positions, levels)
+
         # Case s <= S_k: the answer and threshold are unchanged.
-        expected = cdf[positions, k_level] * \
-            self.state.joint_cdf_excluding(positions, k_level)
+        expected = cdf[positions, k_level] * excluding[:, 0]
 
         # Case S_k < s <= S_p: f becomes the K-th with threshold s.
-        for level in range(k_level + 1, p_level + 1):
-            weights = pmf[positions, level]
-            if not np.any(weights):
-                continue
-            expected = expected + weights * \
-                self.state.joint_cdf_excluding(positions, level)
+        if p_level > k_level:
+            weights = pmf[positions, k_level + 1:p_level + 1]
+            expected = expected + (weights * excluding[:, 1:]).sum(axis=1)
 
         # Case s > S_p: the old penultimate becomes the threshold.
         tail = 1.0 - cdf[positions, p_level]
-        expected = expected + tail * \
-            self.state.joint_cdf_excluding(positions, p_level)
+        expected = expected + tail * excluding[:, -1]
         return expected
 
     # ------------------------------------------------------------------

@@ -71,6 +71,28 @@ class ConfidenceState:
         self.zero_count -= row_inf.astype(np.int64)
         self._uncertain[position] = False
 
+    def remove_many(self, positions: np.ndarray) -> None:
+        """Remove a batch of cleaned tuples in one vectorized pass.
+
+        Equivalent to calling :meth:`remove` per position (up to
+        floating-point summation order in ``finite_sum``), but one
+        numpy reduction per batch instead of one ``O(L)`` pass per
+        tuple — the Phase 2 cleaning loop's hot path.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return
+        if positions.size != np.unique(positions).size:
+            raise UncertainRelationError("batch positions must be unique")
+        if not np.all(self._uncertain[positions]):
+            raise UncertainRelationError(
+                "batch contains tuples that are not uncertain")
+        rows_inf = self._neg_inf[positions]
+        rows_log = np.where(rows_inf, 0.0, self.log_cdf[positions])
+        self.finite_sum -= rows_log.sum(axis=0)
+        self.zero_count -= rows_inf.sum(axis=0)
+        self._uncertain[positions] = False
+
     # ------------------------------------------------------------------
     def log_joint_cdf(self, level: int) -> float:
         """``log H_u(level)`` over currently uncertain tuples."""
@@ -109,6 +131,27 @@ class ConfidenceState:
         own_log = self.log_cdf[positions, level]
         effective_zeros = self.zero_count[level] - own_inf.astype(np.int64)
         log_excl = self.finite_sum[level] - np.where(own_inf, 0.0, own_log)
+        return np.where(effective_zeros == 0, np.exp(log_excl), 0.0)
+
+    def joint_cdf_excluding_levels(
+        self, positions: np.ndarray, levels: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`joint_cdf_excluding` over many levels at once.
+
+        Returns a ``(num_positions, num_levels)`` matrix whose column
+        ``j`` equals ``joint_cdf_excluding(positions, levels[j])`` —
+        one fused pass for Select-candidate's Equation 6 case analysis
+        instead of one call per grid level.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        levels = np.asarray(levels, dtype=np.int64)
+        own_inf = self._neg_inf[positions[:, None], levels[None, :]]
+        own_log = self.log_cdf[positions[:, None], levels[None, :]]
+        effective_zeros = (
+            self.zero_count[levels][None, :] - own_inf.astype(np.int64))
+        log_excl = (
+            self.finite_sum[levels][None, :]
+            - np.where(own_inf, 0.0, own_log))
         return np.where(effective_zeros == 0, np.exp(log_excl), 0.0)
 
     # ------------------------------------------------------------------

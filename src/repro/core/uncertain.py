@@ -207,6 +207,38 @@ class UncertainRelation:
         self.exact_scores[position] = float(score)
         return level
 
+    def mark_certain_many(
+        self, positions: np.ndarray, scores: np.ndarray
+    ) -> np.ndarray:
+        """Clean a batch of tuples in one vectorized pass.
+
+        Equivalent to calling :meth:`mark_certain` per tuple, but the
+        pmf / cdf rows are rewritten with a single fancy-indexed
+        assignment each — the Phase 2 cleaning loop's hot path.
+        Returns the quantized levels of the observed scores.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if positions.size != scores.size:
+            raise UncertainRelationError(
+                f"{positions.size} positions but {scores.size} scores")
+        if positions.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if positions.size != np.unique(positions).size:
+            raise UncertainRelationError(
+                "batch positions must be unique")
+        if np.any(self.certain[positions]):
+            raise UncertainRelationError(
+                "batch contains already-certain tuples")
+        levels = self.grid.level_of(scores)
+        self.pmf[positions, :] = 0.0
+        self.pmf[positions, levels] = 1.0
+        self.cdf[positions, :] = (
+            np.arange(self.grid.num_levels)[None, :] >= levels[:, None])
+        self.certain[positions] = True
+        self.exact_scores[positions] = scores
+        return levels
+
     def certain_levels(self) -> np.ndarray:
         """Grid levels of all certain tuples (aligned with positions)."""
         positions = np.flatnonzero(self.certain)

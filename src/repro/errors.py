@@ -31,6 +31,11 @@ class FrameIndexError(VideoError, IndexError):
         self.index = index
         self.num_frames = num_frames
 
+    def __reduce__(self):
+        # Custom __init__ signature: rebuild from (index, num_frames)
+        # so the error survives a process-pool round trip intact.
+        return (type(self), (self.index, self.num_frames))
+
 
 class ModelError(ReproError):
     """A model could not be built, trained, or evaluated."""
@@ -54,6 +59,11 @@ class OracleBudgetExceededError(OracleError):
     def __init__(self, budget: int):
         super().__init__(f"oracle invocation budget of {budget} frames exhausted")
         self.budget = budget
+
+    def __reduce__(self):
+        # Custom __init__ signature: rebuild from the budget so pool
+        # workers re-raise an identical error in the parent process.
+        return (type(self), (self.budget,))
 
 
 class UncertainRelationError(ReproError):

@@ -9,9 +9,12 @@ this code, so their numbers agree.
 from .runner import (
     ExperimentRecord,
     ExperimentScale,
+    SweepPoint,
     counting_videos,
     dashcam_videos,
+    execute_sweep,
     format_table,
+    record_from_report,
     run_everest,
 )
 from . import fig4, fig5, fig6, fig7, fig8, fig9, table7, table8
@@ -19,9 +22,12 @@ from . import fig4, fig5, fig6, fig7, fig8, fig9, table7, table8
 __all__ = [
     "ExperimentRecord",
     "ExperimentScale",
+    "SweepPoint",
     "counting_videos",
     "dashcam_videos",
+    "execute_sweep",
     "format_table",
+    "record_from_report",
     "run_everest",
     "fig4",
     "fig5",

@@ -6,18 +6,19 @@ re-runs only Phase 2 — each report still accounts full Phase 1 cost.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..api.session import Session
 from ..oracle.detector import counting_udf
 from .runner import (
     ExperimentRecord,
     ExperimentScale,
+    SweepPoint,
     config_for,
     counting_videos,
+    execute_sweep,
     format_table,
     object_label_for,
-    run_everest,
 )
 
 #: The paper's K sweep.
@@ -30,18 +31,18 @@ def run(
     ks: Sequence[int] = PAPER_KS,
     thres: float = 0.9,
     videos=None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentRecord]:
     if videos is None:
         videos = counting_videos(scale)
     config = config_for(scale)
-    records: List[ExperimentRecord] = []
+    points: List[SweepPoint] = []
     for video in videos:
         scoring = counting_udf(object_label_for(video))
         session = Session(video, scoring, config=config)
-        for k in ks:
-            records.append(run_everest(
-                video, scoring, k=k, thres=thres, session=session))
-    return records
+        points.extend(
+            SweepPoint(session, k=k, thres=thres) for k in ks)
+    return execute_sweep(points, workers=workers)
 
 
 def render(records: List[ExperimentRecord]) -> str:

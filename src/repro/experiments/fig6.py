@@ -8,18 +8,19 @@ spent reaching 0.5, very few going from 0.5 to 0.99.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..api.session import Session
 from ..oracle.detector import counting_udf
 from .runner import (
     ExperimentRecord,
     ExperimentScale,
+    SweepPoint,
     config_for,
     counting_videos,
+    execute_sweep,
     format_table,
     object_label_for,
-    run_everest,
 )
 
 #: The paper's threshold sweep.
@@ -32,18 +33,18 @@ def run(
     thresholds: Sequence[float] = PAPER_THRESHOLDS,
     k: int = 50,
     videos=None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentRecord]:
     if videos is None:
         videos = counting_videos(scale)
     config = config_for(scale)
-    records: List[ExperimentRecord] = []
+    points: List[SweepPoint] = []
     for video in videos:
         scoring = counting_udf(object_label_for(video))
         session = Session(video, scoring, config=config)
-        for thres in thresholds:
-            records.append(run_everest(
-                video, scoring, k=k, thres=thres, session=session))
-    return records
+        points.extend(
+            SweepPoint(session, k=k, thres=thres) for thres in thresholds)
+    return execute_sweep(points, workers=workers)
 
 
 def render(records: List[ExperimentRecord]) -> str:

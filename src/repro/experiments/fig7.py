@@ -9,18 +9,19 @@ frames confirmed per cleaning).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..api.session import Session
 from ..oracle.detector import counting_udf
 from .runner import (
     ExperimentRecord,
     ExperimentScale,
+    SweepPoint,
     config_for,
     counting_videos,
+    execute_sweep,
     format_table,
     object_label_for,
-    run_everest,
 )
 
 #: The paper's window-size sweep (frames; 1 = no window).
@@ -34,11 +35,12 @@ def run(
     k: int = 50,
     thres: float = 0.9,
     videos=None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentRecord]:
     if videos is None:
         videos = counting_videos(scale)
     config = config_for(scale)
-    records: List[ExperimentRecord] = []
+    points: List[SweepPoint] = []
     for video in videos:
         scoring = counting_udf(object_label_for(video))
         session = Session(video, scoring, config=config)
@@ -46,10 +48,10 @@ def run(
             # Keep at least ~3K windows so Top-K remains meaningful.
             if window > 1 and len(video) // window < 3 * k:
                 continue
-            records.append(run_everest(
-                video, scoring, k=k, thres=thres,
-                window_size=window, session=session))
-    return records
+            points.append(SweepPoint(
+                session, k=k, thres=thres,
+                window_size=None if window == 1 else window))
+    return execute_sweep(points, workers=workers)
 
 
 def render(records: List[ExperimentRecord]) -> str:

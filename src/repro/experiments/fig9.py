@@ -16,10 +16,11 @@ from ..oracle.depth import tailgating_udf
 from .runner import (
     ExperimentRecord,
     ExperimentScale,
+    SweepPoint,
     config_for,
     dashcam_videos,
+    execute_sweep,
     format_table,
-    run_everest,
 )
 
 
@@ -46,11 +47,12 @@ def run(
     *,
     scenarios: Sequence[Scenario] = PAPER_SCENARIOS,
     videos=None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentRecord]:
     if videos is None:
         videos = dashcam_videos(scale)
     config = config_for(scale)
-    records: List[ExperimentRecord] = []
+    points: List[SweepPoint] = []
     for video in videos:
         scoring = tailgating_udf()
         session = Session(video, scoring, config=config)
@@ -58,13 +60,10 @@ def run(
             if scenario.window_size and \
                     len(video) // scenario.window_size < 3 * scenario.k:
                 continue
-            record = run_everest(
-                video, scoring,
-                k=scenario.k, thres=scenario.thres,
-                window_size=scenario.window_size, session=session)
-            record.extras["scenario"] = scenario.label
-            records.append(record)
-    return records
+            points.append(SweepPoint(
+                session, k=scenario.k, thres=scenario.thres,
+                window_size=scenario.window_size, label=scenario.label))
+    return execute_sweep(points, workers=workers)
 
 
 def render(records: List[ExperimentRecord]) -> str:

@@ -22,6 +22,7 @@ from ..core.result import QueryReport
 from ..core.windows import window_truth
 from ..metrics import QualityMetrics, evaluate_answer
 from ..oracle.base import ScoringFunction, exact_scores
+from ..parallel import ParallelRunner, resolve_workers
 from ..video.datasets import COUNTING_DATASETS, DASHCAM_DATASETS, DatasetSpec
 from ..video.synthetic import SyntheticVideo
 
@@ -127,6 +128,55 @@ class ExperimentRecord:
     extras: Dict[str, float] = field(default_factory=dict)
 
 
+def record_from_report(
+    video: SyntheticVideo,
+    scoring: ScoringFunction,
+    report: QueryReport,
+    *,
+    truth: Optional[np.ndarray] = None,
+) -> ExperimentRecord:
+    """Evaluate one finished query report against the ground truth.
+
+    The evaluation half of :func:`run_everest`, shared with the
+    parallel sweep path (where reports come back from pool workers and
+    metrics are computed in the parent).
+    """
+    k = report.k
+    window_size = report.window_size
+    if truth is None:
+        truth = exact_scores(scoring, video)
+    # Continuous UDFs operate at their quantization step's resolution:
+    # true scores within one step of the K-th tie with it (counting
+    # queries keep the strict tolerance of 0). Window queries operate
+    # at the window grid's resolution.
+    if window_size and window_size > 1:
+        from ..core.windows import WINDOW_STEP_DIVISOR
+        truth_items = window_truth(truth, window_size)
+        tolerance = scoring.step / WINDOW_STEP_DIVISOR
+    else:
+        truth_items = truth
+        tolerance = scoring.quantization_step or 0.0
+    metrics = evaluate_answer(
+        report.answer_ids, truth_items, k, tolerance=tolerance)
+    return ExperimentRecord(
+        video=video.name,
+        method="everest",
+        k=k,
+        thres=report.thres,
+        window_size=window_size,
+        simulated_seconds=report.simulated_seconds,
+        speedup=report.speedup,
+        metrics=metrics,
+        report=report,
+        extras={
+            "cleaned": float(report.cleaned),
+            "cleaned_fraction": report.cleaned_fraction,
+            "iterations": float(report.iterations),
+            "confidence": report.confidence,
+        },
+    )
+
+
 def run_everest(
     video: SyntheticVideo,
     scoring: ScoringFunction,
@@ -151,42 +201,75 @@ def run_everest(
         else:
             session = Session(
                 video, scoring, config=config or default_config())
-    truth = exact_scores(scoring, video)
     query = session.query().topk(k).guarantee(thres)
     if window_size and window_size > 1:
-        report = query.windows(size=window_size).run()
-        truth_items = window_truth(truth, window_size)
+        query = query.windows(size=window_size)
+    report = query.run()
+    return record_from_report(video, scoring, report)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One experiment grid point: a session plus query parameters."""
+
+    session: Session
+    k: int = 50
+    thres: float = 0.9
+    window_size: Optional[int] = None
+    #: Optional scenario label recorded under ``extras["scenario"]``.
+    label: Optional[str] = None
+
+    def plan(self):
+        query = self.session.query().topk(self.k).guarantee(self.thres)
+        if self.window_size and self.window_size > 1:
+            query = query.windows(size=self.window_size)
+        return query.plan()
+
+
+def execute_sweep(
+    points: Sequence[SweepPoint],
+    *,
+    workers: Optional[int] = None,
+) -> List[ExperimentRecord]:
+    """Run an experiment sweep, optionally fanned across a pool.
+
+    With one worker (the default unless ``REPRO_WORKERS`` says
+    otherwise) this is the classic serial loop. With more, grid points
+    execute on a :class:`~repro.parallel.runner.ParallelRunner`: each
+    session's Phase 1 is built once here and shared, workers run only
+    Phase 2, and the resulting records are identical to the serial
+    ones up to the deterministic-timing normalization of the reports.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        records = [
+            run_everest(
+                point.session.video, point.session.scoring,
+                k=point.k, thres=point.thres,
+                window_size=point.window_size, session=point.session)
+            for point in points
+        ]
     else:
-        report = query.run()
-        truth_items = truth
-    # Continuous UDFs operate at their quantization step's resolution:
-    # true scores within one step of the K-th tie with it (counting
-    # queries keep the strict tolerance of 0). Window queries operate
-    # at the window grid's resolution.
-    if window_size and window_size > 1:
-        from ..core.windows import WINDOW_STEP_DIVISOR
-        tolerance = scoring.step / WINDOW_STEP_DIVISOR
-    else:
-        tolerance = scoring.quantization_step or 0.0
-    metrics = evaluate_answer(
-        report.answer_ids, truth_items, k, tolerance=tolerance)
-    return ExperimentRecord(
-        video=video.name,
-        method="everest",
-        k=k,
-        thres=thres,
-        window_size=window_size,
-        simulated_seconds=report.simulated_seconds,
-        speedup=report.speedup,
-        metrics=metrics,
-        report=report,
-        extras={
-            "cleaned": float(report.cleaned),
-            "cleaned_fraction": report.cleaned_fraction,
-            "iterations": float(report.iterations),
-            "confidence": report.confidence,
-        },
-    )
+        runner = ParallelRunner(workers)
+        reports = runner.run_grid(
+            [(point.session, point.plan()) for point in points])
+        truth_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        records = []
+        for point, report in zip(points, reports):
+            video, scoring = point.session.video, point.session.scoring
+            # Keyed by (video, scoring): one video can serve several
+            # UDFs in a grid, each with its own ground truth.
+            cache_key = (id(video), id(scoring))
+            truth = truth_cache.get(cache_key)
+            if truth is None:
+                truth = exact_scores(scoring, video)
+                truth_cache[cache_key] = truth
+            records.append(
+                record_from_report(video, scoring, report, truth=truth))
+    for point, record in zip(points, records):
+        if point.label is not None:
+            record.extras["scenario"] = point.label
+    return records
 
 
 def evaluate_baseline(

@@ -3,21 +3,30 @@
 Part (a): fraction of simulated runtime per pipeline stage (the five
 columns of the paper's table). Part (b): Phase 2 iteration count and
 the percentage of frames cleaned.
+
+Note on ``workers``: the parallel sweep path runs under deterministic
+timing (DESIGN.md §6), which drops the one *measured* quantity in the
+breakdown — select-candidate wall time — so with ``workers > 1`` the
+``select-cand`` column reads 0.00% and the other fractions renormalize
+accordingly. The paper's own claim is that this stage contributes
+<0.01% of runtime; run serially when you want it measured.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from ..api.session import Session
 from ..oracle.detector import counting_udf
 from .runner import (
     ExperimentRecord,
     ExperimentScale,
+    SweepPoint,
     config_for,
     counting_videos,
+    execute_sweep,
     format_table,
     object_label_for,
-    run_everest,
 )
 
 
@@ -27,17 +36,20 @@ def run(
     k: int = 50,
     thres: float = 0.9,
     videos=None,
+    workers: Optional[int] = None,
 ) -> List[ExperimentRecord]:
     """Run the default query per video, keeping the full reports."""
     if videos is None:
         videos = counting_videos(scale)
     config = config_for(scale)
-    return [
-        run_everest(
-            video, counting_udf(object_label_for(video)),
-            k=k, thres=thres, config=config)
+    points = [
+        SweepPoint(
+            Session(video, counting_udf(object_label_for(video)),
+                    config=config),
+            k=k, thres=thres)
         for video in videos
     ]
+    return execute_sweep(points, workers=workers)
 
 
 def render(records: List[ExperimentRecord]) -> str:

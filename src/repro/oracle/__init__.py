@@ -9,7 +9,12 @@ measure — are preserved without a GPU.
 """
 
 from .base import Oracle, ScoringFunction
-from .cost import CostModel, DEFAULT_UNIT_COSTS, scan_cost_seconds
+from .cost import (
+    CostModel,
+    DEFAULT_UNIT_COSTS,
+    merge_cost_models,
+    scan_cost_seconds,
+)
 from .detector import (
     DetectorErrorModel,
     SimulatedObjectDetector,
@@ -25,6 +30,7 @@ __all__ = [
     "ScoringFunction",
     "CostModel",
     "DEFAULT_UNIT_COSTS",
+    "merge_cost_models",
     "scan_cost_seconds",
     "DetectorErrorModel",
     "SimulatedObjectDetector",

@@ -60,9 +60,21 @@ class CostEntry:
 
 
 class CostModel:
-    """A ledger of simulated latencies plus measured algorithm time."""
+    """A ledger of simulated latencies plus measured algorithm time.
 
-    def __init__(self, unit_costs: Optional[Mapping[str, float]] = None):
+    ``wall_clock=False`` puts the ledger in deterministic mode:
+    :meth:`timer` stops measuring real time (simulated charges are
+    unaffected), so two runs of the same deterministic workload — e.g.
+    the same query on different pool workers — produce bit-identical
+    ledgers and therefore bit-identical reports.
+    """
+
+    def __init__(
+        self,
+        unit_costs: Optional[Mapping[str, float]] = None,
+        *,
+        wall_clock: bool = True,
+    ):
         merged = dict(DEFAULT_UNIT_COSTS)
         if unit_costs:
             merged.update(unit_costs)
@@ -71,6 +83,7 @@ class CostModel:
                 raise ConfigurationError(
                     f"unit cost for {key!r} must be >= 0, got {value}")
         self.unit_costs: Dict[str, float] = merged
+        self.wall_clock = wall_clock
         self._entries: Dict[str, CostEntry] = {}
 
     def _entry(self, key: str) -> CostEntry:
@@ -95,7 +108,13 @@ class CostModel:
 
     @contextmanager
     def timer(self, key: str) -> Iterator[None]:
-        """Measure a ``with`` block's wall time into ``key``."""
+        """Measure a ``with`` block's wall time into ``key``.
+
+        A no-op in deterministic mode (``wall_clock=False``).
+        """
+        if not self.wall_clock:
+            yield
+            return
         start = time.perf_counter()
         try:
             yield
@@ -128,15 +147,44 @@ class CostModel:
         self._entries.clear()
 
     def copy(self) -> "CostModel":
-        clone = CostModel(self.unit_costs)
+        clone = CostModel(self.unit_costs, wall_clock=self.wall_clock)
         for key, entry in self._entries.items():
             clone._entries[key] = CostEntry(entry.units, entry.seconds)
         return clone
+
+    def merge_from(self, other: "CostModel") -> "CostModel":
+        """Fold another ledger's charges into this one (in place).
+
+        Entry units and seconds add key-wise; unit costs are left
+        untouched (they describe how *future* charges price, not what
+        was already spent). Returns ``self`` for chaining. This is how
+        per-worker Phase 2 ledgers from a parallel sweep combine into
+        one sweep-level ledger without double-counting: each worker
+        charges only its own query's work, and the shared Phase 1
+        ledger is merged exactly once by the caller.
+        """
+        for key, entry in other._entries.items():
+            mine = self._entry(key)
+            mine.units += entry.units
+            mine.seconds += entry.seconds
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(
             f"{k}={e.seconds:.1f}s" for k, e in self._entries.items())
         return f"CostModel({parts})"
+
+
+def merge_cost_models(
+    models: "list[CostModel] | tuple[CostModel, ...]",
+    *,
+    unit_costs: Optional[Mapping[str, float]] = None,
+) -> CostModel:
+    """A fresh ledger holding the key-wise sum of ``models``' charges."""
+    merged = CostModel(unit_costs)
+    for model in models:
+        merged.merge_from(model)
+    return merged
 
 
 def scan_cost_seconds(

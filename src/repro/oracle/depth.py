@@ -9,6 +9,7 @@ tailgating moments.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -38,6 +39,28 @@ class SimulatedDepthEstimator:
         return np.asarray([self.distance(f) for f in frames], dtype=np.float64)
 
 
+@dataclass(frozen=True)
+class TailgatingScorer:
+    """Picklable frame scorer: ``max(0, max_distance - distance)``."""
+
+    model: SimulatedDepthEstimator
+    max_distance: float
+
+    def __call__(self, frames: List[Frame]) -> np.ndarray:
+        return np.maximum(0.0, self.max_distance - self.model.distances(frames))
+
+
+@dataclass(frozen=True)
+class TailgatingExactScores:
+    """Ground-truth fast path for the noiseless depth estimator."""
+
+    max_distance: float
+
+    def __call__(self, video) -> np.ndarray:
+        distances = video.truth_array("distance")
+        return np.maximum(0.0, self.max_distance - distances)
+
+
 def tailgating_udf(
     *,
     max_distance: float = 60.0,
@@ -51,19 +74,11 @@ def tailgating_udf(
     paper requires for non-counting scoring functions (Section 3.2).
     """
     model = estimator or SimulatedDepthEstimator()
-
-    def score_frames(frames: List[Frame]) -> np.ndarray:
-        return np.maximum(0.0, max_distance - model.distances(frames))
-
-    exact_fn = None
-    if estimator is None:
-        def exact_fn(video) -> np.ndarray:
-            distances = video.truth_array("distance")
-            return np.maximum(0.0, max_distance - distances)
-
+    exact_fn = (
+        TailgatingExactScores(max_distance) if estimator is None else None)
     return ScoringFunction(
         name="tailgating",
-        score_frames=score_frames,
+        score_frames=TailgatingScorer(model, max_distance),
         cost_key=cost_key,
         quantization_step=quantization_step,
         score_floor=0.0,

@@ -122,6 +122,39 @@ class SimulatedObjectDetector:
         return len(self.detect(frame))
 
 
+@dataclass(frozen=True)
+class CountScorer:
+    """Picklable frame scorer: score = number of detected objects.
+
+    A plain class (not a closure) so :class:`ScoringFunction` instances
+    built from it can cross process boundaries in parallel sweeps.
+    """
+
+    model: SimulatedObjectDetector
+
+    def __call__(self, frames: List[Frame]) -> np.ndarray:
+        return np.asarray(
+            [len(objects) for objects in self.model.detect_batch(frames)],
+            dtype=np.float64,
+        )
+
+
+@dataclass(frozen=True)
+class CountExactScores:
+    """Ground-truth fast path for the perfect counting oracle.
+
+    The default detector is the perfect oracle, so the video's
+    ground-truth count array is exactly its output.
+    """
+
+    object_label: str
+
+    def __call__(self, video) -> np.ndarray:
+        if getattr(video, "object_label", None) == self.object_label:
+            return video.truth_array("count")
+        return np.zeros(len(video))
+
+
 def counting_udf(
     object_label: str = "car",
     *,
@@ -130,25 +163,10 @@ def counting_udf(
 ) -> ScoringFunction:
     """The paper's default UDF (Figure 3): score = number of objects."""
     model = detector or SimulatedObjectDetector(object_label)
-
-    def score_frames(frames: List[Frame]) -> np.ndarray:
-        return np.asarray(
-            [len(objects) for objects in model.detect_batch(frames)],
-            dtype=np.float64,
-        )
-
-    exact_fn = None
-    if detector is None:
-        # The default detector is the perfect oracle, so the video's
-        # ground-truth count array is exactly its output.
-        def exact_fn(video) -> np.ndarray:
-            if getattr(video, "object_label", None) == object_label:
-                return video.truth_array("count")
-            return np.zeros(len(video))
-
+    exact_fn = CountExactScores(object_label) if detector is None else None
     return ScoringFunction(
         name=f"count[{object_label}]",
-        score_frames=score_frames,
+        score_frames=CountScorer(model),
         cost_key=cost_key,
         quantization_step=None,
         score_floor=0.0,

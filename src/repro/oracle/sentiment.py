@@ -7,6 +7,7 @@ use case from the paper's introduction (Top-10 happiest moments).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -37,6 +38,24 @@ class SimulatedSentimentalizer:
             [self.happiness(f) for f in frames], dtype=np.float64)
 
 
+@dataclass(frozen=True)
+class SentimentScorer:
+    """Picklable frame scorer: batch happiness in ``[0, 1]``."""
+
+    model: SimulatedSentimentalizer
+
+    def __call__(self, frames: List[Frame]) -> np.ndarray:
+        return self.model.happiness_batch(frames)
+
+
+@dataclass(frozen=True)
+class SentimentExactScores:
+    """Ground-truth fast path for the noiseless sentimentalizer."""
+
+    def __call__(self, video) -> np.ndarray:
+        return np.clip(video.truth_array("happiness"), 0.0, 1.0)
+
+
 def sentiment_udf(
     *,
     quantization_step: float = 0.02,
@@ -45,18 +64,10 @@ def sentiment_udf(
 ) -> ScoringFunction:
     """Happiness score in ``[0, 1]`` with a user-chosen quantization."""
     sentimentalizer = model or SimulatedSentimentalizer()
-
-    def score_frames(frames: List[Frame]) -> np.ndarray:
-        return sentimentalizer.happiness_batch(frames)
-
-    exact_fn = None
-    if model is None:
-        def exact_fn(video) -> np.ndarray:
-            return np.clip(video.truth_array("happiness"), 0.0, 1.0)
-
+    exact_fn = SentimentExactScores() if model is None else None
     return ScoringFunction(
         name="happiness",
-        score_frames=score_frames,
+        score_frames=SentimentScorer(sentimentalizer),
         cost_key=cost_key,
         quantization_step=quantization_step,
         score_floor=0.0,

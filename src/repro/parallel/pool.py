@@ -1,0 +1,72 @@
+"""Worker-count resolution and ordered chunk mapping primitives.
+
+This module is the dependency-free floor of :mod:`repro.parallel`: it
+may be imported from anywhere in the library (including
+:mod:`repro.core.phase1`) without creating an import cycle, because it
+depends only on the standard library and :mod:`repro.errors`.
+
+Worker counts resolve through one rule everywhere: an explicit
+argument wins, otherwise the ``REPRO_WORKERS`` environment variable,
+otherwise serial execution. Running the test suite under
+``REPRO_WORKERS=4`` therefore exercises every pool-aware code path
+without touching a single call site.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(
+    workers: Optional[int] = None, *, default: int = 1
+) -> int:
+    """The effective worker count for a parallel-capable call site.
+
+    ``workers`` wins when given; otherwise :data:`WORKERS_ENV` is
+    consulted; otherwise ``default`` (serial). Always >= 1.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV}={raw!r} is not an integer") from None
+        else:
+            workers = default
+    if workers < 1:
+        raise ConfigurationError(
+            f"worker count must be >= 1, got {workers}")
+    return int(workers)
+
+
+def thread_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` preserving order.
+
+    With one worker this is a plain loop; otherwise a thread pool
+    (numpy releases the GIL in its inner kernels, so chunked inference
+    scales without pickling anything). Results are returned in input
+    order either way, so callers are deterministic regardless of the
+    worker count.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,106 @@
+"""Golden-report fixtures: small fig5/fig7-style sweeps, checked in.
+
+The checked-in JSON under ``tests/data/`` pins the exact
+`QueryReport` output of two deterministic sweeps. The tests assert
+
+* a fresh serial run reproduces the fixtures byte-for-byte,
+* process-pool runs at several worker counts reproduce the same bytes
+  (worker count cannot leak into a report), and
+* ``QueryReport.from_json`` round-trips every fixture byte-for-byte.
+
+Regenerate after an intentional report change with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_reports.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro import EverestConfig, ParallelRunner, Session
+from repro.core.result import QueryReport
+from repro.oracle import counting_udf
+from repro.video import TrafficVideo
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "data"
+
+#: The two recorded sweeps: fig5-style (K sweep) and fig7-style
+#: (window-size sweep), both deterministic by construction.
+SWEEPS = ("fig5_quick", "fig7_quick")
+
+
+def _dump(reports) -> str:
+    return json.dumps([r.to_dict() for r in reports], indent=1) + "\n"
+
+
+@pytest.fixture(scope="module")
+def golden_session():
+    video = TrafficVideo("golden", 700, seed=11)
+    return Session(video, counting_udf("car"), config=EverestConfig.fast())
+
+
+@pytest.fixture(scope="module")
+def golden_plans(golden_session):
+    base = golden_session.query().guarantee(0.9).deterministic_timing()
+    return {
+        "fig5_quick": [base.topk(k).plan() for k in (3, 5)],
+        "fig7_quick": [
+            base.topk(4).plan(),
+            base.topk(4).windows(size=20).plan(),
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_reports(golden_session, golden_plans):
+    reports = {
+        name: ParallelRunner(1).run_sweep(golden_session, plans)
+        for name, plans in golden_plans.items()
+    }
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        for name, sweep in reports.items():
+            (GOLDEN_DIR / f"{name}.json").write_text(_dump(sweep))
+    return reports
+
+
+@pytest.mark.parametrize("name", SWEEPS)
+def test_serial_sweep_matches_golden_fixture(serial_reports, name):
+    fixture = (GOLDEN_DIR / f"{name}.json").read_text()
+    assert _dump(serial_reports[name]) == fixture
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+def test_pooled_sweeps_match_golden_fixtures(
+        golden_session, golden_plans, workers):
+    for name, plans in golden_plans.items():
+        pooled = ParallelRunner(workers).run_sweep(golden_session, plans)
+        fixture = (GOLDEN_DIR / f"{name}.json").read_text()
+        assert _dump(pooled) == fixture, f"{name} workers={workers}"
+
+
+@pytest.mark.parametrize("name", SWEEPS)
+def test_from_json_round_trips_byte_for_byte(name):
+    payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    assert payload, "fixture must contain reports"
+    for entry in payload:
+        text = json.dumps(entry)
+        report = QueryReport.from_json(text)
+        assert report.to_json() == text
+        # And a second decode/encode cycle is a fixed point.
+        again = QueryReport.from_json(report.to_json())
+        assert again.to_json() == report.to_json()
+        assert again == report
+
+
+def test_golden_reports_answer_their_queries():
+    for name in SWEEPS:
+        payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        for entry in payload:
+            report = QueryReport.from_dict(entry)
+            assert report.confidence >= report.thres
+            assert len(report.answer_ids) == report.k
