@@ -28,6 +28,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    streaming_latency,
     table7,
     table8,
 )
@@ -84,6 +85,9 @@ def main() -> None:
             fig7, videos=sweep_videos, workers=workers)),
         ("fig8", lambda: records_main(fig8)),
         ("fig9", lambda: records_main(fig9, workers=workers)),
+        # Streaming measurements carry their own row type (per-append
+        # live-vs-batch cost), so only the rendered table is persisted.
+        ("streaming", lambda: (streaming_latency.main(scale), None)),
     ]
     all_reports: list = []
     with open(out_path, "w") as handle:

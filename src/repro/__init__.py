@@ -40,7 +40,10 @@ from .api import (
     open_session,
 )
 from .parallel import ParallelRunner, resolve_workers
+from .streaming import StreamingConfig, StreamingSession
+from .video.streaming import StreamingVideo
 from .errors import (
+    CheckpointError,
     ConfigurationError,
     GuaranteeUnreachableError,
     ModelError,
@@ -61,6 +64,9 @@ __all__ = [
     "QueryExecutor",
     "ParallelRunner",
     "resolve_workers",
+    "StreamingSession",
+    "StreamingConfig",
+    "StreamingVideo",
     "open_session",
     "EverestEngine",
     "QueryReport",
@@ -70,6 +76,7 @@ __all__ = [
     "DiffDetectorConfig",
     "SelectCandidateConfig",
     "ReproError",
+    "CheckpointError",
     "ConfigurationError",
     "VideoError",
     "ModelError",

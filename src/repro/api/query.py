@@ -180,3 +180,20 @@ class Query:
             return self.session.execute(self.plan())
         return self.session.execute_many(
             [self.plan()], workers=workers)[0]
+
+    def subscribe(self):
+        """Maintain this query live over a streaming session.
+
+        Only valid on queries built from a
+        :class:`~repro.streaming.session.StreamingSession`. Returns a
+        :class:`~repro.streaming.live_topk.LiveTopK` that is refreshed
+        immediately and then re-certified on every ``append`` — one
+        report per append, batch-equivalent ledgers, fresh oracle work
+        proportional to the delta.
+        """
+        subscribe = getattr(self.session, "subscribe", None)
+        if subscribe is None:
+            raise QueryError(
+                "subscribe() needs a streaming session; open one with "
+                "Session.open_stream(...)")
+        return subscribe(self)

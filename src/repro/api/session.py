@@ -31,8 +31,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .plan import QueryPlan
     from ..core.result import QueryReport
 
-#: Cache key capturing everything D0 depends on.
-Phase1Key = Tuple[str, str, int]
+#: Cache key capturing everything D0 depends on: explicit
+#: ``(field, value)`` pairs, stable across dataclass field reordering,
+#: default changes, and ``repr`` formatting (the durable identity the
+#: streaming artifact store persists).
+Phase1Key = Tuple[Tuple[str, object], ...]
 
 
 @dataclass
@@ -45,8 +48,67 @@ class Phase1Entry:
 
 
 def phase1_key(config: EverestConfig) -> Phase1Key:
-    """The cache key for a configuration's Phase 1 artifacts."""
-    return (repr(config.phase1), repr(config.diff), config.seed)
+    """The cache key for a configuration's Phase 1 artifacts.
+
+    Every configuration field D0 depends on is named explicitly — the
+    earlier ``repr()``-based key silently split the cache whenever a
+    dataclass gained a field or changed its field order, and could not
+    be persisted meaningfully. Phase 2 knobs are deliberately absent:
+    queries that override only them must keep hitting the cache.
+    """
+    phase1, diff = config.phase1, config.diff
+    return (
+        ("sample_fraction", float(phase1.sample_fraction)),
+        ("max_train_samples", int(phase1.max_train_samples)),
+        ("min_train_samples", int(phase1.min_train_samples)),
+        ("holdout_samples", int(phase1.holdout_samples)),
+        ("cmdn_grid",
+         tuple((int(g), int(h)) for g, h in phase1.cmdn_grid)),
+        ("epochs", int(phase1.epochs)),
+        ("batch_size", int(phase1.batch_size)),
+        ("learning_rate", float(phase1.learning_rate)),
+        ("use_feature_mdn", bool(phase1.use_feature_mdn)),
+        ("quantization_step",
+         None if phase1.quantization_step is None
+         else float(phase1.quantization_step)),
+        ("truncate_sigmas", float(phase1.truncate_sigmas)),
+        ("sample_prefix",
+         None if phase1.sample_prefix is None
+         else int(phase1.sample_prefix)),
+        ("mse_threshold", float(diff.mse_threshold)),
+        ("clip_size", int(diff.clip_size)),
+        ("seed", int(config.seed)),
+    )
+
+
+def _check_phase1_key_covers_every_field() -> None:
+    """Import-time guard: the key must name every config field.
+
+    The explicit key is fail-unsafe if a field is added to
+    :class:`Phase1Config` / :class:`DiffDetectorConfig` and forgotten
+    here (two configs differing only in the new field would share
+    Phase-1 artifacts). This trips the moment such a field lands —
+    unconditionally, not via ``assert`` (``python -O`` must not strip
+    the one check that makes the explicit key safe).
+    """
+    import dataclasses
+
+    from ..config import DiffDetectorConfig, Phase1Config
+
+    named = {name for name, _ in phase1_key(EverestConfig())}
+    expected = (
+        {f.name for f in dataclasses.fields(Phase1Config)}
+        | {f.name for f in dataclasses.fields(DiffDetectorConfig)}
+        | {"seed"}
+    )
+    if named != expected:
+        raise RuntimeError(
+            "phase1_key is out of sync with the config dataclasses: "
+            f"missing {sorted(expected - named)}, "
+            f"stale {sorted(named - expected)}")
+
+
+_check_phase1_key_covers_every_field()
 
 
 class Session:
@@ -104,6 +166,63 @@ class Session:
         if isinstance(scoring, str):
             scoring = resolve_udf(scoring)
         return cls(video, scoring, config=config, unit_costs=unit_costs)
+
+    @classmethod
+    def open_stream(
+        cls,
+        video,
+        scoring,
+        *,
+        initial_frames: Optional[int] = None,
+        config: Optional[EverestConfig] = None,
+        unit_costs: Optional[Dict[str, float]] = None,
+        streaming=None,
+        autosave_path=None,
+        **video_kwargs,
+    ):
+        """Open a streaming session over a growing video (DESIGN.md §7).
+
+        ``video`` may be a closed source (object or registry name —
+        wrapped with ``initial_frames`` as the bootstrap segment) or a
+        ready :class:`~repro.video.streaming.StreamingVideo`.
+        ``streaming`` takes a
+        :class:`~repro.streaming.phase1_incremental.StreamingConfig`
+        (drift auditing / warm-retraining knobs). Returns a
+        :class:`~repro.streaming.session.StreamingSession`:
+        ``append(n)`` reveals frames, ``query()...subscribe()`` yields
+        a report per append, ``checkpoint(path)`` persists the Phase-1
+        artifacts.
+        """
+        from ..streaming.session import StreamingSession
+        from .registry import resolve_udf, resolve_video
+
+        if isinstance(video, str):
+            video = resolve_video(video, **video_kwargs)
+        elif video_kwargs:
+            raise TypeError(
+                "video keyword arguments need a registry name, "
+                "not a video object")
+        if isinstance(scoring, str):
+            scoring = resolve_udf(scoring)
+        # initial_frames is forwarded unconditionally: the constructor
+        # validates the (StreamingVideo, initial_frames) combinations.
+        return StreamingSession(
+            video, scoring, initial_frames=initial_frames,
+            config=config, unit_costs=unit_costs,
+            streaming=streaming, autosave_path=autosave_path)
+
+    @classmethod
+    def resume(cls, path):
+        """Warm-start a streaming session from a checkpoint directory.
+
+        The resumed session re-serves its watermark with zero Phase-1
+        oracle calls: CMDN weights, the difference-detector state, the
+        inference cache, revealed scores and ledgers all come from the
+        artifact store. Subscriptions are not persisted — re-subscribe.
+        """
+        from ..streaming.session import StreamingSession
+
+        return StreamingSession.resume(path)
 
     # ------------------------------------------------------------------
     def query(self) -> "Query":

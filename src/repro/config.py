@@ -65,6 +65,12 @@ class Phase1Config:
     quantization_step: Optional[float] = None
     #: Number of sigmas beyond which Gaussian tails are truncated.
     truncate_sigmas: float = 3.0
+    #: Restrict the labelling sample (and the sample-size arithmetic) to
+    #: the first ``sample_prefix`` frames. ``None`` samples the whole
+    #: video — the batch default. Streaming sessions pin this to their
+    #: bootstrap segment so a batch run over any longer prefix trains
+    #: the byte-identical proxy the live engine carries forward.
+    sample_prefix: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require(0.0 < self.sample_fraction <= 1.0,
@@ -75,6 +81,14 @@ class Phase1Config:
         _require(len(self.cmdn_grid) >= 1, "cmdn_grid must not be empty")
         _require(self.epochs >= 1, "epochs must be >= 1")
         _require(self.truncate_sigmas > 0, "truncate_sigmas must be > 0")
+        _require(self.sample_prefix is None or self.sample_prefix >= 1,
+                 "sample_prefix must be None or >= 1")
+
+    def sample_pool(self, num_frames: int) -> int:
+        """The number of leading frames labelling may draw from."""
+        if self.sample_prefix is None:
+            return num_frames
+        return min(num_frames, self.sample_prefix)
 
     def train_sample_size(self, num_frames: int) -> int:
         """Return the paper's ``min(0.5% * n, 30000)`` with a small floor."""

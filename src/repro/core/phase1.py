@@ -68,6 +68,40 @@ def predict_mixtures_chunked(
     )
 
 
+def replay_phase1_charges(
+    cost_model,
+    *,
+    train_labels: int,
+    holdout_labels: int,
+    sample_epochs: int,
+    num_frames: int,
+    num_retained: int,
+) -> None:
+    """Charge ``cost_model`` exactly as :func:`run_phase1` would.
+
+    The streaming subsystem maintains Phase 1 incrementally but reports
+    batch-equivalent ledgers: after each append it replays the charge
+    sequence a from-scratch :func:`run_phase1` over the current prefix
+    would issue. The order matters — :class:`~repro.oracle.cost.CostModel`
+    accumulates ``seconds`` additively, so only the same sequence of
+    ``charge`` calls reproduces the same floats bit for bit. Keep this
+    in lockstep with the charge sites in :func:`run_phase1` (each line
+    below names the step it mirrors).
+    """
+    # Step 1: oracle.score(train) then oracle.score(holdout), then the
+    # decode of both sample batches.
+    cost_model.charge("oracle_label", train_labels)
+    cost_model.charge("oracle_label", holdout_labels)
+    cost_model.charge("decode", train_labels + holdout_labels)
+    # Step 2: grid training.
+    cost_model.charge("cmdn_train", sample_epochs)
+    # Step 3: difference detection over the whole prefix.
+    cost_model.charge("diff_detect", num_frames)
+    cost_model.charge("decode", num_frames)
+    # Step 4: proxy inference over the retained frames.
+    cost_model.charge("cmdn_infer", num_retained)
+
+
 @dataclass
 class Phase1Result:
     """Everything Phase 2 (and the experiments) need from Phase 1."""
@@ -111,10 +145,14 @@ def run_phase1(
         else DiffDetectorConfig()
     num_frames = len(video)
     rng = np.random.default_rng(seed)
-    train_size = config.train_sample_size(num_frames)
-    holdout_size = config.holdout_sample_size(num_frames)
+    # ``sample_prefix`` (None for plain batch runs) restricts both the
+    # sampling pool and the sample-size arithmetic to a leading slice of
+    # the video — the anchor streaming sessions train against.
+    pool = config.sample_pool(num_frames)
+    train_size = config.train_sample_size(pool)
+    holdout_size = config.holdout_sample_size(pool)
     train_idx, holdout_idx = _sample_indices(
-        rng, num_frames, train_size, holdout_size)
+        rng, pool, train_size, holdout_size)
 
     # 1. Oracle-label the samples (this is real oracle cost).
     train_scores = oracle.score(video, train_idx)

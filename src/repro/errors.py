@@ -70,6 +70,10 @@ class UncertainRelationError(ReproError):
     """An x-tuple or uncertain relation violated a structural invariant."""
 
 
+class CheckpointError(ReproError):
+    """A streaming checkpoint was missing, corrupt, or incompatible."""
+
+
 class QueryError(ReproError):
     """A Top-K query was malformed or could not be answered."""
 

@@ -17,7 +17,17 @@ from .runner import (
     record_from_report,
     run_everest,
 )
-from . import fig4, fig5, fig6, fig7, fig8, fig9, table7, table8
+from . import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    streaming_latency,
+    table7,
+    table8,
+)
 
 __all__ = [
     "ExperimentRecord",
@@ -35,6 +45,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "streaming_latency",
     "table7",
     "table8",
 ]

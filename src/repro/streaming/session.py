@@ -1,0 +1,389 @@
+"""Streaming sessions: maintain answers over a growing video.
+
+A :class:`StreamingSession` is a :class:`~repro.api.session.Session`
+whose video is a :class:`~repro.video.streaming.StreamingVideo` view.
+Opening one pins the Phase-1 training policy to the bootstrap segment
+(``phase1.sample_prefix``), which is what makes every live answer
+comparable — bit-identically, while drift auditing is off — to a batch
+run of the engine over the same frames under the same policy:
+
+    stream = Session.open_stream(video, "count[car]", initial_frames=5_000)
+    live = stream.query().topk(10).guarantee(0.9).subscribe()
+    stream.append(900)        # one report per append, per subscription
+    live.latest.summary()
+
+``append`` advances the watermark, folds the arrivals into the
+incremental Phase-1 state, and re-certifies every subscription through
+a cache-backed executor, so the *physical* oracle work per append
+scales with the delta while reports keep batch semantics.
+``checkpoint``/``resume`` persist the whole state through the artifact
+store; a resumed session re-serves its watermark with **zero** Phase-1
+oracle calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..api.session import Phase1Entry, Session, phase1_key
+from ..config import EverestConfig
+from ..core.result import QueryReport
+from ..errors import CheckpointError, QueryError
+from ..oracle.cost import CostModel
+from ..video.streaming import Segment, StreamingVideo
+from .live_topk import (
+    CachingOracle,
+    LiveTopK,
+    ScoreCache,
+    StreamingQueryExecutor,
+)
+from .phase1_incremental import (
+    IncrementalPhase1,
+    StreamingConfig,
+    StreamingStats,
+)
+from .store import read_checkpoint, write_checkpoint
+
+
+@dataclass
+class AppendResult:
+    """Everything one ``append`` changed, for callers and experiments."""
+
+    segment: Segment
+    watermark: int
+    #: One refreshed report per live subscription, in subscribe order.
+    reports: List[QueryReport] = field(default_factory=list)
+    #: Drift statistic after auditing (None while unknown / disabled).
+    drift: Optional[float] = None
+    retrained: bool = False
+    audited: int = 0
+    #: Physical (cache-miss) work this append actually paid.
+    fresh_label_calls: int = 0
+    fresh_confirm_calls: int = 0
+    fresh_inferred_frames: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def fresh_oracle_calls(self) -> int:
+        return self.fresh_label_calls + self.fresh_confirm_calls
+
+
+class StreamingSession(Session):
+    """An appendable (video, UDF) session with live-maintained answers."""
+
+    def __init__(
+        self,
+        video,
+        scoring,
+        *,
+        initial_frames: Optional[int] = None,
+        config: Optional[EverestConfig] = None,
+        unit_costs: Optional[Dict[str, float]] = None,
+        streaming: Optional[StreamingConfig] = None,
+        autosave_path=None,
+    ):
+        if isinstance(video, StreamingVideo):
+            if initial_frames is not None:
+                raise QueryError(
+                    "initial_frames is implied by an existing "
+                    "StreamingVideo; pass one or the other")
+            stream = video
+        else:
+            if initial_frames is None:
+                raise QueryError(
+                    "open_stream needs initial_frames: the bootstrap "
+                    "segment Phase 1 trains on")
+            stream = StreamingVideo(video, initial_frames)
+        config = config if config is not None else EverestConfig()
+        if config.phase1.sample_prefix is None:
+            # Pin training to the bootstrap segment: the policy under
+            # which live answers equal batch re-runs (DESIGN.md §7).
+            config = dataclasses.replace(
+                config,
+                phase1=dataclasses.replace(
+                    config.phase1, sample_prefix=stream.watermark),
+            )
+        self._user_unit_costs = dict(unit_costs) if unit_costs else None
+        super().__init__(stream, scoring, config=config,
+                         unit_costs=unit_costs)
+        self.streaming = streaming if streaming is not None \
+            else StreamingConfig()
+        self.autosave_path = autosave_path
+        self._cache = ScoreCache()
+        self._stats = StreamingStats()
+        self._label_oracle = CachingOracle(
+            scoring,
+            CostModel(self._unit_costs),
+            cache=self._cache,
+            cost_key="oracle_label",
+        )
+        self._incremental = IncrementalPhase1(
+            stream, scoring, self.config, self._unit_costs,
+            self._label_oracle, self.streaming, self._stats)
+        self._entry: Optional[Phase1Entry] = None
+        self._subscriptions: List[LiveTopK] = []
+        self._append_log: List[AppendResult] = []
+
+    # ------------------------------------------------------------------
+    # Streaming lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def video_stream(self) -> StreamingVideo:
+        return self.video  # typed alias; Session stores it as .video
+
+    @property
+    def watermark(self) -> int:
+        return self.video.watermark
+
+    @property
+    def segments(self) -> List[Segment]:
+        return self.video.segments
+
+    @property
+    def stats(self) -> StreamingStats:
+        self._sync_label_stats()
+        return self._stats
+
+    @property
+    def diverged(self) -> bool:
+        """True once auditing/retraining broke batch-ledger equality."""
+        return self._incremental.diverged
+
+    @property
+    def drift(self) -> Optional[float]:
+        tracker = self._incremental.drift_tracker
+        return tracker.drift if tracker is not None else None
+
+    @property
+    def append_log(self) -> List[AppendResult]:
+        return list(self._append_log)
+
+    def _sync_label_stats(self) -> None:
+        self._stats.fresh_label_calls = self._label_oracle.fresh_calls
+
+    def _ensure_bootstrap(self) -> Phase1Entry:
+        if self._entry is None:
+            self._entry = self._incremental.bootstrap()
+            self._sync_label_stats()
+        return self._entry
+
+    def append(self, num_frames: int) -> AppendResult:
+        """Reveal ``num_frames`` more source frames and re-certify.
+
+        Folds the arrivals into the Phase-1 state (diff, inference,
+        relation; drift audit and possible warm retrain when enabled),
+        refreshes every subscription, and returns the
+        :class:`AppendResult` — including the physical cache-miss work
+        this append paid, as opposed to the batch-equivalent charges
+        its reports carry.
+        """
+        self._ensure_bootstrap()
+        started = time.perf_counter()
+        before = self.stats.snapshot()
+        segment = self.video.append(num_frames)
+        self._entry, outcome = self._incremental.advance(segment)
+        # Refresh every subscription even if one fails (e.g. a
+        # subscribed query's oracle budget trips): the watermark and
+        # Phase-1 state have already advanced, so the append must
+        # complete its bookkeeping either way — the first error
+        # re-raises after the result is logged, leaving the session
+        # consistent and retryable.
+        reports = []
+        refresh_error: Optional[BaseException] = None
+        for subscription in self._subscriptions:
+            try:
+                reports.append(subscription.refresh(self._executor()))
+            except Exception as error:
+                if refresh_error is None:
+                    refresh_error = error
+        self._stats.appends += 1
+        self._sync_label_stats()
+        after = self._stats.snapshot()
+        result = AppendResult(
+            segment=segment,
+            watermark=self.watermark,
+            reports=reports,
+            drift=outcome.drift,
+            retrained=outcome.retrained,
+            audited=outcome.audited,
+            fresh_label_calls=(
+                after["fresh_label_calls"] - before["fresh_label_calls"]),
+            fresh_confirm_calls=(
+                after["fresh_confirm_calls"]
+                - before["fresh_confirm_calls"]),
+            fresh_inferred_frames=(
+                after["fresh_inferred_frames"]
+                - before["fresh_inferred_frames"]),
+            wall_seconds=time.perf_counter() - started,
+        )
+        self._append_log.append(result)
+        limit = self.streaming.max_history
+        if limit is not None:
+            # Bound the per-append history (and hence checkpoint size)
+            # on indefinite streams; the latest answers always survive.
+            del self._append_log[:-limit]
+            for subscription in self._subscriptions:
+                subscription.trim(limit)
+        if self.autosave_path is not None:
+            self.checkpoint(self.autosave_path)
+        if refresh_error is not None:
+            raise refresh_error
+        return result
+
+    def subscribe(self, query) -> LiveTopK:
+        """Register a query for per-append maintenance.
+
+        The subscription is refreshed immediately (its first report
+        answers over the current watermark) and again on every append.
+        """
+        if query.session is not self:
+            raise QueryError(
+                "subscribe a query built from this streaming session")
+        self._ensure_bootstrap()
+        subscription = LiveTopK(query=query)
+        subscription.refresh(self._executor())
+        self._subscriptions.append(subscription)
+        return subscription
+
+    @property
+    def subscriptions(self) -> List[LiveTopK]:
+        return list(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # Session surface, redirected at the incremental state
+    # ------------------------------------------------------------------
+    def _executor(self) -> StreamingQueryExecutor:
+        return StreamingQueryExecutor(
+            self, cache=self._cache, stats=self._stats)
+
+    def _check_config(self, config: Optional[EverestConfig]) -> None:
+        if config is not None and \
+                phase1_key(config) != phase1_key(self.config):
+            raise QueryError(
+                "streaming sessions maintain Phase 1 for the session "
+                "configuration only; Phase 2 overrides are fine, but "
+                "a different (phase1, diff, seed) needs its own session")
+
+    def phase1(self, config: Optional[EverestConfig] = None) -> Phase1Entry:
+        self._check_config(config)
+        return self._ensure_bootstrap()
+
+    def phase1_cost_model(
+        self, config: Optional[EverestConfig] = None
+    ) -> CostModel:
+        self._check_config(config)
+        return self._ensure_bootstrap().cost_model
+
+    @property
+    def phase1_runs(self) -> int:
+        return 1 if self._entry is not None else 0
+
+    def adopt_phase1(self, entry, config=None) -> None:
+        raise QueryError(
+            "streaming sessions build Phase 1 incrementally; "
+            "adopt_phase1 is a batch-session operation")
+
+    def execute(self, plan) -> QueryReport:
+        # execute_fresh keeps StreamingStats honest: ad-hoc queries pay
+        # cache-miss UDF calls too, not just subscriptions.
+        return self._executor().execute_fresh(plan)[0]
+
+    def execute_many(
+        self, plans: Sequence, *, workers: Optional[int] = None
+    ) -> List[QueryReport]:
+        if workers is not None and workers > 1:
+            # Make the single-process constraint visible instead of
+            # silently delivering no speedup.
+            raise QueryError(
+                "streaming sessions execute serially (the incremental "
+                "state is single-process); fan a sweep out from a "
+                "batch Session instead")
+        executor = self._executor()
+        return [executor.execute_fresh(plan)[0] for plan in plans]
+
+    # ------------------------------------------------------------------
+    # Batch reference
+    # ------------------------------------------------------------------
+    def batch_session(self) -> Session:
+        """A from-scratch batch session over the current prefix.
+
+        Shares nothing with this session except the (sealed) frames
+        and the pinned configuration — the reference the equivalence
+        suite compares live answers against.
+        """
+        return Session(
+            self.video.snapshot(),
+            self.scoring,
+            config=self.config,
+            unit_costs=self._user_unit_costs,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def checkpoint(self, path) -> None:
+        """Persist the full streaming state to ``path`` (a directory).
+
+        Subscriptions are not persisted (they close over live session
+        objects); re-subscribe after :meth:`resume`. Everything else —
+        watermark, CMDN weights, diff arrays, inference blocks, score
+        cache, ledgers, drift state — round-trips, so the resumed
+        session re-serves its watermark with zero Phase-1 oracle calls.
+        """
+        self._ensure_bootstrap()
+        state = {
+            "video": self.video,
+            "scoring": self.scoring,
+            "config": self.config,
+            "user_unit_costs": self._user_unit_costs,
+            "streaming": self.streaming,
+            "autosave_path": self.autosave_path,
+            "incremental": self._incremental,
+            "cache": self._cache,
+            "stats": self.stats,
+            "append_log": self._append_log,
+        }
+        write_checkpoint(
+            path,
+            state,
+            metadata={
+                "video_name": self.video.name,
+                "udf_name": self.scoring.name,
+                "watermark": self.watermark,
+                "segments": len(self.video.segments),
+                "diverged": self.diverged,
+            },
+        )
+
+    @classmethod
+    def resume(cls, path) -> "StreamingSession":
+        """Warm-start a session from a checkpoint directory."""
+        state, _manifest = read_checkpoint(path)
+        try:
+            video = state["video"]
+            scoring = state["scoring"]
+            config = state["config"]
+        except KeyError as error:  # pragma: no cover - corrupt state
+            raise CheckpointError(
+                f"checkpoint state is missing field {error}") from error
+        session = cls(
+            video,
+            scoring,
+            config=config,
+            unit_costs=state.get("user_unit_costs"),
+            streaming=state.get("streaming"),
+            autosave_path=state.get("autosave_path"),
+        )
+        # Splice the persisted components back in. The pickle graph
+        # preserved identity between them (the maintainer's label
+        # oracle shares the score cache), so rewiring is by reference.
+        session._cache = state["cache"]
+        session._stats = state["stats"]
+        session._incremental = state["incremental"]
+        session._label_oracle = session._incremental.label_oracle
+        session._append_log = list(state.get("append_log", []))
+        session._entry = session._incremental.rebuild_entry()
+        return session

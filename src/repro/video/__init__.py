@@ -20,6 +20,7 @@ from .datasets import DATASETS, DatasetSpec, build_dataset, dataset_table
 from .visual_road import visual_road_video, visual_road_suite
 from .diff import DifferenceDetector, DiffResult
 from .reader import VideoReader
+from .streaming import Segment, StreamingVideo
 
 __all__ = [
     "BoundingBox",
@@ -38,4 +39,6 @@ __all__ = [
     "DifferenceDetector",
     "DiffResult",
     "VideoReader",
+    "Segment",
+    "StreamingVideo",
 ]

@@ -67,6 +67,26 @@ class DiffResult:
         return np.split(np.arange(self.num_frames), change)
 
 
+def process_clip(
+    video: SyntheticVideo, indices: np.ndarray, threshold: float
+) -> np.ndarray:
+    """Keep mask for one clip: MSE against the middle-frame anchor.
+
+    The single per-clip kernel, shared by the batch detector and the
+    streaming :class:`~repro.streaming.phase1_incremental
+    .IncrementalDiff` — their bit-equality contract is structural, not
+    a convention between two copies. A clip's decisions depend only on
+    its own frames, which is what makes incremental maintenance exact.
+    """
+    pixels = video.batch_pixels(indices).astype(np.float64)
+    mid = len(indices) // 2
+    anchor = pixels[mid]
+    errors = np.mean((pixels - anchor[None, :, :]) ** 2, axis=(1, 2))
+    keep = errors >= threshold
+    keep[mid] = True  # the anchor is always retained
+    return keep
+
+
 class DifferenceDetector:
     """MSE-based duplicate-frame suppressor with clip-level splitting."""
 
@@ -97,12 +117,7 @@ class DifferenceDetector:
         for clip in self._clip_bounds(num_frames):
             indices = np.asarray(clip, dtype=np.int64)
             middle = int(indices[len(indices) // 2])
-            pixels = video.batch_pixels(indices).astype(np.float64)
-            anchor = pixels[len(indices) // 2]
-            errors = np.mean(
-                (pixels - anchor[None, :, :]) ** 2, axis=(1, 2))
-            keep = errors >= threshold
-            keep[len(indices) // 2] = True  # the anchor is always retained
+            keep = process_clip(video, indices, threshold)
             retained_mask[indices[keep]] = True
             representative[indices] = np.where(keep, indices, middle)
 

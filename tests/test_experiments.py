@@ -9,6 +9,7 @@ from repro.experiments import (
     fig5,
     fig8,
     fig9,
+    streaming_latency,
     table7,
     table8,
 )
@@ -105,3 +106,16 @@ class TestExperimentsSmoke:
         records = fig9.run(quick, scenarios=scenarios)
         assert len(records) == 2  # two dashcam videos
         assert all(r.extras["scenario"] == "top5" for r in records)
+
+    def test_streaming_latency(self, quick, one_video):
+        measurements = streaming_latency.run(
+            quick, num_appends=2, k=3, videos=one_video)
+        assert len(measurements) == 2
+        # The live answer matched the batch re-run at every append...
+        assert all(m.identical for m in measurements)
+        # ...and cost strictly fewer fresh oracle calls than the batch
+        # re-run paid in total.
+        assert all(
+            m.live_fresh_calls < m.batch_calls for m in measurements)
+        output = streaming_latency.render(measurements)
+        assert "live-fresh-calls" in output and "totals:" in output
