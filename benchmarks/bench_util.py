@@ -12,7 +12,9 @@ with ``ParallelRunner`` / ``REPRO_WORKERS``.
 
 from __future__ import annotations
 
-import os
+# Re-exported for the bench modules: the affinity-aware CPU count now
+# lives in the library (the service's process-lane heuristic uses it).
+from repro.parallel.pool import available_cpus  # noqa: F401
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -20,11 +22,3 @@ def run_once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(
         fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
         warmup_rounds=0)
-
-
-def available_cpus() -> int:
-    """CPUs this process may actually use (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1

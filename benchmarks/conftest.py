@@ -16,6 +16,8 @@ never captured by workers (DESIGN.md §6).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import ExperimentScale
@@ -23,4 +25,28 @@ from repro.experiments import ExperimentScale
 
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
-    return ExperimentScale.bench()
+    """Workload scale for the macro benchmarks.
+
+    ``REPRO_BENCH_SCALE=quick`` trims the suite to smoke-test size —
+    the CI benchmark job runs it that way on every push so the bench
+    scripts cannot rot, while local runs keep the meaningful
+    ``bench()`` scale.
+    """
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench").strip().lower()
+    if name == "quick":
+        return ExperimentScale.quick()
+    if name in ("bench", ""):
+        return ExperimentScale.bench()
+    raise ValueError(
+        f"REPRO_BENCH_SCALE={name!r}; expected 'bench' or 'quick'")
+
+
+@pytest.fixture(scope="session")
+def bench_strict(bench_scale) -> bool:
+    """Whether scale-calibrated quality bars apply.
+
+    Precision / speedup / phase-share thresholds are calibrated for
+    ``bench()``-scale videos; the quick smoke run only certifies that
+    every bench script still executes end to end.
+    """
+    return bench_scale.min_frames > 2_000

@@ -40,9 +40,11 @@ from .api import (
     open_session,
 )
 from .parallel import ParallelRunner, resolve_workers
+from .service import QueryFuture, QueryService
 from .streaming import StreamingConfig, StreamingSession
 from .video.streaming import StreamingVideo
 from .errors import (
+    AdmissionError,
     CheckpointError,
     ConfigurationError,
     GuaranteeUnreachableError,
@@ -51,6 +53,8 @@ from .errors import (
     OracleError,
     QueryError,
     ReproError,
+    ServiceClosedError,
+    ServiceError,
     UncertainRelationError,
     VideoError,
 )
@@ -64,6 +68,8 @@ __all__ = [
     "QueryExecutor",
     "ParallelRunner",
     "resolve_workers",
+    "QueryFuture",
+    "QueryService",
     "StreamingSession",
     "StreamingConfig",
     "StreamingVideo",
@@ -85,5 +91,8 @@ __all__ = [
     "UncertainRelationError",
     "QueryError",
     "GuaranteeUnreachableError",
+    "ServiceError",
+    "AdmissionError",
+    "ServiceClosedError",
     "__version__",
 ]

@@ -38,10 +38,14 @@ class ExecutionDetail:
     The ledger is what parallel sweeps merge (see
     :meth:`~repro.oracle.cost.CostModel.merge_from`): it contains only
     this query's Phase 2 charges, never the shared Phase 1 ledger.
+    ``fresh_confirm_calls`` is the physical (cache-miss) confirmation
+    count when the executor ran with a shared score cache, ``None``
+    otherwise — the ledger always carries the full charges either way.
     """
 
     report: QueryReport
     phase2_cost: CostModel
+    fresh_confirm_calls: Optional[int] = None
 
 
 class QueryExecutor:
@@ -50,13 +54,32 @@ class QueryExecutor:
     ``workers`` sets the default fan-out of :meth:`execute_many`
     (``None`` resolves through ``REPRO_WORKERS``, defaulting to
     serial). Single-plan :meth:`execute` always runs in-process.
+
+    ``score_cache`` — explicit, or inherited from a service-bound
+    session (:attr:`Session.shared_score_cache`) — swaps the confirming
+    oracle for a :class:`~repro.oracle.cache.CachingOracle`: ledgers
+    and reports are unchanged, but frames another query already cleaned
+    are not physically re-scored. This is the cross-query sharing hook
+    the service layer builds on (DESIGN.md §8).
     """
 
-    def __init__(self, session: Session, *, workers: Optional[int] = None):
+    def __init__(
+        self,
+        session: Session,
+        *,
+        workers: Optional[int] = None,
+        score_cache=None,
+    ):
         from ..parallel.pool import resolve_workers
 
         self.session = session
         self.workers = resolve_workers(workers)
+        if score_cache is None:
+            score_cache = getattr(session, "shared_score_cache", None)
+        self.score_cache = score_cache
+        #: The confirming oracle behind the most recent execution —
+        #: how callers (streaming, service) read cache-miss counts.
+        self.last_confirm_oracle: Optional[Oracle] = None
 
     def execute(self, plan: QueryPlan) -> QueryReport:
         return self.execute_detailed(plan).report
@@ -100,13 +123,30 @@ class QueryExecutor:
         """A fresh per-query cost ledger plus the confirming oracle."""
         phase2_cost = CostModel(
             plan.unit_costs, wall_clock=not plan.deterministic_timing)
-        confirm_oracle = Oracle(
+        confirm_oracle = self._confirm_oracle(plan, phase2_cost)
+        self.last_confirm_oracle = confirm_oracle
+        return phase2_cost, confirm_oracle
+
+    def _confirm_oracle(
+        self, plan: QueryPlan, phase2_cost: CostModel
+    ) -> Oracle:
+        """The Phase 2 confirming oracle (cache-backed when shared)."""
+        if self.score_cache is not None:
+            from ..oracle.cache import CachingOracle
+
+            return CachingOracle(
+                self.session.scoring,
+                phase2_cost,
+                cache=self.score_cache,
+                cost_key="oracle_confirm",
+                budget=plan.oracle_budget,
+            )
+        return Oracle(
             self.session.scoring,
             phase2_cost,
             cost_key="oracle_confirm",
             budget=plan.oracle_budget,
         )
-        return phase2_cost, confirm_oracle
 
     def _clean(
         self, plan, entry, relation, clean_fn, phase2_cost, confirm_oracle
@@ -124,7 +164,11 @@ class QueryExecutor:
             oracle_calls=entry.oracle_calls + confirm_oracle.calls,
             num_tuples=len(relation),
         )
-        return ExecutionDetail(report=report, phase2_cost=phase2_cost)
+        return ExecutionDetail(
+            report=report,
+            phase2_cost=phase2_cost,
+            fresh_confirm_calls=getattr(confirm_oracle, "fresh_calls", None),
+        )
 
     def _run_frames(
         self, plan: QueryPlan, entry: Phase1Entry

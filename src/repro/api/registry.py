@@ -37,7 +37,7 @@ UdfFactory = Callable[..., ScoringFunction]
 #: A video factory takes builder keyword arguments (num_frames, seed…).
 VideoFactory = Callable[..., SyntheticVideo]
 
-_UDF_SPEC = re.compile(r"^(?P<name>[\w-]+)(?:\[(?P<arg>[^\]]+)\])?$")
+_UDF_SPEC = re.compile(r"^(?P<name>[\w-]+)(?:\[(?P<arg>[^\[\]]+)\])?$")
 _UDF_NAME = re.compile(r"^[\w-]+$")
 
 _udf_registry: Dict[str, UdfFactory] = {}
@@ -82,7 +82,17 @@ def list_videos() -> List[str]:
     return sorted(set(DATASETS) | set(_video_registry))
 
 
-def _parse_udf_spec(spec: str) -> Tuple[str, Optional[str]]:
+def parse_udf_spec(spec: str) -> Tuple[str, Optional[str]]:
+    """Split a UDF spec into ``(name, arg)`` without resolving it.
+
+    Raises :class:`~repro.errors.ConfigurationError` (a
+    :class:`ValueError`) on anything that is not ``'name'`` or
+    ``'name[arg]'`` — including non-string input, empty specs, nested
+    or unbalanced brackets, and empty bracket arguments.
+    """
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"UDF spec must be a string, got {type(spec).__name__}")
     match = _UDF_SPEC.match(spec)
     if match is None:
         raise ConfigurationError(
@@ -90,14 +100,48 @@ def _parse_udf_spec(spec: str) -> Tuple[str, Optional[str]]:
     return match.group("name"), match.group("arg")
 
 
+def format_udf_spec(name: str, arg: Optional[str] = None) -> str:
+    """The canonical spec string for ``(name, arg)``.
+
+    Inverse of :func:`parse_udf_spec` for every valid pair:
+    ``parse_udf_spec(format_udf_spec(name, arg)) == (name, arg)``.
+    Raises :class:`~repro.errors.ConfigurationError` when the pair
+    cannot round-trip (bad name characters, ``]`` inside the arg).
+    """
+    spec = name if arg is None else f"{name}[{arg}]"
+    parsed_name, parsed_arg = parse_udf_spec(spec)
+    if (parsed_name, parsed_arg) != (name, arg):
+        raise ConfigurationError(
+            f"({name!r}, {arg!r}) does not round-trip through "
+            f"{spec!r}; use a plain [A-Za-z0-9_-]+ name")
+    return spec
+
+
+#: Backwards-compatible alias for the pre-service private name.
+_parse_udf_spec = parse_udf_spec
+
+
 def resolve_udf(spec: str) -> ScoringFunction:
-    """Build the scoring function a spec like ``"count[car]"`` names."""
-    name, arg = _parse_udf_spec(spec)
+    """Build the scoring function a spec like ``"count[car]"`` names.
+
+    Any failure — malformed spec, unknown name, or an argument the
+    factory rejects — raises
+    :class:`~repro.errors.ConfigurationError` (a :class:`ValueError`)
+    with the offending spec in the message, never a bare conversion
+    error from inside a factory.
+    """
+    name, arg = parse_udf_spec(spec)
     factory = _udf_registry.get(name)
     if factory is None:
         raise ConfigurationError(
             f"unknown UDF {name!r}; registered: {', '.join(list_udfs())}")
-    return factory(arg) if arg is not None else factory()
+    try:
+        return factory(arg) if arg is not None else factory()
+    except ConfigurationError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"invalid argument in UDF spec {spec!r}: {error}") from error
 
 
 def resolve_video(name: str, **kwargs) -> SyntheticVideo:

@@ -111,6 +111,40 @@ def _check_phase1_key_covers_every_field() -> None:
 _check_phase1_key_covers_every_field()
 
 
+def build_phase1_entry(
+    video,
+    scoring: ScoringFunction,
+    unit_costs: Dict[str, float],
+    config: EverestConfig,
+    *,
+    cost_model: Optional[CostModel] = None,
+) -> Phase1Entry:
+    """Run Phase 1 and package the artifacts with their ledger.
+
+    The one Phase-1 build routine, shared by :meth:`Session.phase1`
+    and the service artifact layer (whose single-flight builds happen
+    outside any one session). Charges are purely simulated — no
+    wall-clock timers run during Phase 1 — so two builds of the same
+    ``(video, scoring, config)`` produce bit-identical entries.
+    """
+    cost_model = cost_model if cost_model is not None \
+        else CostModel(unit_costs)
+    oracle = Oracle(scoring, cost_model, cost_key="oracle_label")
+    result = run_phase1(
+        video,
+        oracle,
+        config=config.phase1,
+        diff_config=config.diff,
+        cost_model=cost_model,
+        seed=config.seed,
+    )
+    return Phase1Entry(
+        result=result,
+        oracle_calls=oracle.calls,
+        cost_model=cost_model,
+    )
+
+
 class Session:
     """An opened (video, scoring function) pair that serves queries."""
 
@@ -137,6 +171,11 @@ class Session:
         # Ledgers handed out before their Phase 1 runs (so callers can
         # hold a stable reference to the ledger Phase 1 will charge).
         self._phase1_cost_models: Dict[Phase1Key, CostModel] = {}
+        # Service bindings (None outside a QueryService): a shared
+        # artifact provider supplying single-flight Phase-1 builds, and
+        # the service-scope score cache executors confirm through.
+        self.artifacts = None
+        self.shared_score_cache = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -178,6 +217,7 @@ class Session:
         unit_costs: Optional[Dict[str, float]] = None,
         streaming=None,
         autosave_path=None,
+        score_cache=None,
         **video_kwargs,
     ):
         """Open a streaming session over a growing video (DESIGN.md §7).
@@ -209,7 +249,8 @@ class Session:
         return StreamingSession(
             video, scoring, initial_frames=initial_frames,
             config=config, unit_costs=unit_costs,
-            streaming=streaming, autosave_path=autosave_path)
+            streaming=streaming, autosave_path=autosave_path,
+            score_cache=score_cache)
 
     @classmethod
     def resume(cls, path):
@@ -273,28 +314,47 @@ class Session:
             key, CostModel(self._unit_costs))
 
     def phase1(self, config: Optional[EverestConfig] = None) -> Phase1Entry:
-        """The cached Phase 1 artifacts for ``config`` (runs on miss)."""
+        """The cached Phase 1 artifacts for ``config`` (runs on miss).
+
+        A service-bound session (:meth:`bind_service`) delegates the
+        build to the shared artifact layer — concurrent sessions over
+        the same ``phase1_key`` block on one single-flight build — and
+        pins the leased entry locally so later queries skip the store.
+        """
         config = config if config is not None else self.config
         key = phase1_key(config)
         entry = self._phase1_cache.get(key)
         if entry is None:
-            cost_model = self.phase1_cost_model(config)
-            oracle = Oracle(self.scoring, cost_model, cost_key="oracle_label")
-            result = run_phase1(
-                self.video,
-                oracle,
-                config=config.phase1,
-                diff_config=config.diff,
-                cost_model=cost_model,
-                seed=config.seed,
-            )
-            entry = Phase1Entry(
-                result=result,
-                oracle_calls=oracle.calls,
-                cost_model=cost_model,
-            )
+            if self.artifacts is not None:
+                entry = self.artifacts.lease(self, config, key)
+                # A ledger handed out via phase1_cost_model() before
+                # this build was promised to receive Phase 1's charges;
+                # the shared build charged the store's ledger instead,
+                # so replay the (bit-identical, purely simulated)
+                # charges into the held reference exactly once.
+                pre = self._phase1_cost_models.pop(key, None)
+                if pre is not None and pre is not entry.cost_model:
+                    pre.merge_from(entry.cost_model)
+            else:
+                entry = build_phase1_entry(
+                    self.video, self.scoring, self._unit_costs, config,
+                    cost_model=self.phase1_cost_model(config),
+                )
             self._phase1_cache[key] = entry
         return entry
+
+    def bind_service(self, artifacts, score_cache=None) -> "Session":
+        """Attach this session to a service's shared artifact layer.
+
+        ``artifacts`` supplies single-flight Phase-1 builds (an object
+        with ``lease(session, config, key)``); ``score_cache`` makes
+        every executor confirm through the service-scope
+        :class:`~repro.oracle.cache.ScoreCache`, so queries reuse
+        frames other queries already cleaned. Returns ``self``.
+        """
+        self.artifacts = artifacts
+        self.shared_score_cache = score_cache
+        return self
 
     def adopt_phase1(
         self,

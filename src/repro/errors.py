@@ -12,8 +12,13 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
-class ConfigurationError(ReproError):
-    """An invalid parameter or inconsistent configuration was supplied."""
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied.
+
+    Also a :class:`ValueError`: callers validating untrusted input
+    (e.g. registry query strings like ``"count[car]"``) can catch the
+    standard exception without importing the library hierarchy.
+    """
 
 
 class VideoError(ReproError):
@@ -76,6 +81,22 @@ class CheckpointError(ReproError):
 
 class QueryError(ReproError):
     """A Top-K query was malformed or could not be answered."""
+
+
+class ServiceError(ReproError):
+    """The concurrent query service failed or was misused."""
+
+
+class AdmissionError(ServiceError):
+    """The service refused a submission (admission control).
+
+    Raised when the pending-query queue is at ``max_pending``; callers
+    should back off and resubmit rather than queue without bound.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """An operation was attempted on a closed query service."""
 
 
 class GuaranteeUnreachableError(QueryError):

@@ -14,11 +14,13 @@ without touching a single call site.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ServiceClosedError
 
 #: Environment variable supplying the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -70,3 +72,64 @@ def thread_map(
         return [fn(item) for item in items]
     with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class PersistentPool:
+    """A lazily started, long-lived process pool.
+
+    :class:`~repro.parallel.runner.ParallelRunner` spins up one pool
+    per sweep because each sweep ships its whole payload through the
+    initializer. The query service instead keeps *one* pool alive for
+    its lifetime and ships per-task payloads, so worker-side state
+    (memoized sessions, score caches) persists across queries. This
+    wrapper adds lazy startup, thread-safe submission, and idempotent
+    shutdown on top of :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        start_method: Optional[str] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.start_method = start_method
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Schedule ``fn(*args, **kwargs)`` on the pool (starts lazily)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("process pool is shut down")
+            if self._executor is None:
+                context = multiprocessing.get_context(self.start_method)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context)
+            return self._executor.submit(fn, *args, **kwargs)
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

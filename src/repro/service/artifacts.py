@@ -1,0 +1,309 @@
+"""The service-scope shared artifact layer (DESIGN.md §8).
+
+Everest's expensive state — Phase-1 artifacts (trained CMDN, diff
+decisions, proxy mixtures, their ledger) and revealed exact scores —
+is a pure function of ``(video, UDF, phase1 configuration)``. One
+query paying for it should mean no concurrent or later query pays
+again. :class:`SharedArtifacts` holds that state at *service* scope:
+
+* **Single-flight Phase-1 builds.** ``lease()`` callers racing on the
+  same :func:`~repro.api.session.phase1_key` block on one build; the
+  winner's entry is shared by reference. Exactly one build per
+  distinct key, no matter how many sessions, threads, or tenants ask.
+* **Bounded LRU.** ``max_entries`` caps resident Phase-1 entries;
+  evicted keys rebuild (or warm-load) on next use. Sessions pin the
+  entries they have leased, so eviction bounds *service* memory
+  without invalidating in-flight queries.
+* **Warm-start tier.** With ``warm_dir`` set, built entries persist
+  through the streaming artifact store
+  (:mod:`repro.streaming.store`: pickled state + sha256-verified
+  manifest), and a cold service warm-loads them instead of retraining.
+  Ledgers ride along, so a warm-loaded entry charges exactly what its
+  original build charged — Phase 1 has no wall-clock timers.
+* **Score / inference cache registries.** One bounded
+  :class:`~repro.oracle.cache.ScoreCache` and one streaming
+  :class:`~repro.streaming.phase1_incremental.BlockInferenceCache`
+  per artifact *group* (video content × UDF), shared by every session
+  the service opens over that group.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..api.session import Phase1Entry, Phase1Key, build_phase1_entry
+from ..errors import ConfigurationError, ServiceError
+from ..oracle.cache import ScoreCache
+from ..oracle.cost import CostModel
+
+#: Identity of the (video content, UDF) pair an artifact belongs to.
+#: Synthetic videos are fully determined by (family, name, length,
+#: seed); the UDF by its registered name.
+GroupKey = Tuple[str, str, int, Optional[int], str]
+
+#: Identity of one Phase-1 artifact: its group plus the explicit
+#: (phase1, diff, seed) key.
+ArtifactKey = Tuple[GroupKey, Phase1Key]
+
+
+def group_key(video, scoring) -> GroupKey:
+    """The artifact-group identity of a (video, scoring) pair.
+
+    Streaming views are unwrapped to their closed source: the group
+    names the underlying *content*, so a stream and a batch session
+    over the same footage share one score cache, and the key does not
+    drift as the stream's watermark advances.
+    """
+    while hasattr(video, "source"):
+        video = video.source
+    seed = getattr(video, "seed", None)
+    return (
+        type(video).__name__,
+        str(video.name),
+        len(video),
+        None if seed is None else int(seed),
+        str(scoring.name),
+    )
+
+
+def artifact_digest(key: ArtifactKey) -> str:
+    """A stable filesystem-safe digest of an artifact key."""
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class _Build:
+    """One in-flight single-flight build."""
+
+    done: threading.Event = field(default_factory=threading.Event)
+    entry: Optional[Phase1Entry] = None
+    error: Optional[BaseException] = None
+
+
+@dataclass
+class ArtifactStats:
+    """Counters describing what the store did (monotonic)."""
+
+    builds: int = 0
+    hits: int = 0
+    single_flight_waits: int = 0
+    warm_hits: int = 0
+    warm_writes: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class SharedArtifacts:
+    """Service-scope Phase-1 entries and per-group caches."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: Optional[int] = None,
+        score_cache_entries: Optional[int] = None,
+        warm_dir=None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be None or >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.score_cache_entries = score_cache_entries
+        self.warm_dir = warm_dir
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[ArtifactKey, Phase1Entry]" = \
+            OrderedDict()
+        # Ledger archive: one Phase-1 ledger per key ever built or
+        # warm-loaded, immune to LRU eviction (ledgers are tiny, and
+        # merged_cost must keep charging evicted keys' builds). A
+        # rebuild after eviction overwrites with bit-identical charges.
+        self._ledgers: Dict[ArtifactKey, CostModel] = {}
+        self._building: Dict[ArtifactKey, _Build] = {}
+        self._score_caches: Dict[GroupKey, ScoreCache] = {}
+        self._block_caches: Dict[ArtifactKey, object] = {}
+        self.stats = ArtifactStats()
+
+    # ------------------------------------------------------------------
+    # Phase-1 entries
+    # ------------------------------------------------------------------
+    def lease(self, session, config, key: Phase1Key) -> Phase1Entry:
+        """The shared Phase-1 entry for ``(session's group, key)``.
+
+        Hit: returns the resident entry. Miss: exactly one caller
+        builds (warm-loading first when a warm tier is configured)
+        while every concurrent caller on the same key blocks and then
+        shares the result. A failed build raises in every blocked
+        caller and the key becomes buildable again.
+        """
+        artifact = (group_key(session.video, session.scoring), key)
+        while True:
+            with self._lock:
+                entry = self._entries.get(artifact)
+                if entry is not None:
+                    self._entries.move_to_end(artifact)
+                    self.stats.hits += 1
+                    return entry
+                build = self._building.get(artifact)
+                if build is None:
+                    build = _Build()
+                    self._building[artifact] = build
+                    break
+                self.stats.single_flight_waits += 1
+            build.done.wait()
+            if build.error is None:
+                # The builder stored the entry before signalling; loop
+                # to fetch it (and refresh its LRU position) normally.
+                continue
+            raise build.error
+
+        try:
+            entry = self._load_warm(artifact)
+            if entry is None:
+                entry = build_phase1_entry(
+                    session.video, session.scoring,
+                    session.resolved_unit_costs(), config)
+                with self._lock:
+                    self.stats.builds += 1
+                self._store_warm(artifact, entry)
+            self._admit(artifact, entry)
+            build.entry = entry
+        except BaseException as error:
+            build.error = error
+            raise
+        finally:
+            with self._lock:
+                self._building.pop(artifact, None)
+            build.done.set()
+        return entry
+
+    def _admit(self, artifact: ArtifactKey, entry: Phase1Entry) -> None:
+        with self._lock:
+            self._entries[artifact] = entry
+            self._ledgers[artifact] = entry.cost_model
+            self._entries.move_to_end(artifact)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+
+    def resident_keys(self) -> List[ArtifactKey]:
+        with self._lock:
+            return list(self._entries)
+
+    def phase1_ledgers(self) -> List[CostModel]:
+        """One Phase-1 ledger per key ever built, in digest order.
+
+        Drawn from the eviction-immune ledger archive — an LRU-evicted
+        key's build still happened and must stay in the service-level
+        merged ledger. Sorted by :func:`artifact_digest` rather than
+        admission order: float addition is not associative, so a
+        canonical merge order is what lets a service-level merged
+        ledger equal a serial reference bit-for-bit regardless of
+        scheduling races.
+        """
+        with self._lock:
+            items = sorted(
+                self._ledgers.items(),
+                key=lambda kv: artifact_digest(kv[0]),
+            )
+        return [ledger for _, ledger in items]
+
+    # ------------------------------------------------------------------
+    # Warm-start tier (streaming artifact store)
+    # ------------------------------------------------------------------
+    def _warm_path(self, artifact: ArtifactKey):
+        from pathlib import Path
+
+        return Path(self.warm_dir) / artifact_digest(artifact)
+
+    def _load_warm(self, artifact: ArtifactKey) -> Optional[Phase1Entry]:
+        if self.warm_dir is None:
+            return None
+        from ..errors import CheckpointError
+        from ..streaming.store import read_checkpoint
+
+        path = self._warm_path(artifact)
+        if not path.is_dir():
+            return None
+        try:
+            state, _manifest = read_checkpoint(path)
+            entry = state["entry"]
+        except (CheckpointError, KeyError):
+            # A torn or stale checkpoint is a miss, not a failure —
+            # the build below overwrites it.
+            return None
+        if not isinstance(entry, Phase1Entry):
+            return None
+        with self._lock:
+            self.stats.warm_hits += 1
+        return entry
+
+    def _store_warm(self, artifact: ArtifactKey, entry: Phase1Entry) -> None:
+        if self.warm_dir is None:
+            return
+        from ..streaming.store import write_checkpoint
+
+        write_checkpoint(
+            self._warm_path(artifact),
+            {"entry": entry},
+            metadata={"artifact": repr(artifact)},
+        )
+        with self._lock:
+            self.stats.warm_writes += 1
+
+    # ------------------------------------------------------------------
+    # Per-group caches
+    # ------------------------------------------------------------------
+    def score_cache(self, group: GroupKey) -> ScoreCache:
+        """The shared exact-score cache for an artifact group."""
+        with self._lock:
+            cache = self._score_caches.get(group)
+            if cache is None:
+                cache = ScoreCache(max_entries=self.score_cache_entries)
+                self._score_caches[group] = cache
+            return cache
+
+    def block_cache(self, artifact: ArtifactKey):
+        """The shared streaming inference cache for an artifact.
+
+        Keyed by the full artifact (group *and* phase1 key): cached
+        mixtures embed the trained proxy's outputs, and only sessions
+        under the same training configuration hold bit-identical
+        proxies. A session that warm-retrains after drift must detach
+        (it does — see ``IncrementalPhase1._warm_retrain``).
+        """
+        from ..streaming.phase1_incremental import BlockInferenceCache
+
+        with self._lock:
+            cache = self._block_caches.get(artifact)
+            if cache is None:
+                cache = BlockInferenceCache()
+                self._block_caches[artifact] = cache
+            return cache
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                **self.stats.as_dict(),
+                "resident_entries": len(self._entries),
+                "score_cache_groups": len(self._score_caches),
+                "cached_scores": sum(
+                    len(c) for c in self._score_caches.values()),
+            }
+
+
+__all__ = [
+    "ArtifactKey",
+    "ArtifactStats",
+    "GroupKey",
+    "SharedArtifacts",
+    "ServiceError",
+    "artifact_digest",
+    "group_key",
+]

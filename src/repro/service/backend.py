@@ -1,0 +1,153 @@
+"""Execution lanes: where a scheduled batch of plans actually runs.
+
+Two lanes, chosen per service (``use_processes``):
+
+* **Inline** — the scheduler's worker thread executes Phase 2 itself
+  through a :class:`~repro.api.executor.QueryExecutor` bound to the
+  service-scope score cache. Numpy releases the GIL in the hot
+  kernels, so threads overlap; on a single usable CPU this lane also
+  avoids every pickling cost.
+* **Process** — Phase 2 is shipped to a persistent
+  :class:`~repro.parallel.pool.PersistentPool` worker, mirroring the
+  sweep protocol of :mod:`repro.parallel.runner`: the parent builds
+  Phase 1 (single-flight, shared), a worker reconstructs the session
+  once per artifact and runs only the cleaning loop. Two additions
+  over the sweep protocol make it a *service* lane:
+
+  1. **Session memoization.** Payloads carry a stable ``spec_id``; a
+     worker unpickles the session spec the first time it sees the id
+     and reuses it for every later batch, so steady-state traffic
+     ships only plans.
+  2. **Score-cache warm shipping.** Each batch carries the parent's
+     current cache entries for the artifact group; the worker merges
+     them into its local group cache before executing and returns its
+     *new* revelations, which the parent folds back into the shared
+     cache. Scores are deterministic per frame, so the merge is
+     idempotent and reports stay bit-identical — only physical UDF
+     work moves.
+
+Determinism contract: identical to DESIGN.md §6 — plans are
+deterministic-timing normalized upstream, so a report is a pure
+function of (video, scoring, config, plan) and both lanes produce
+byte-identical ``QueryReport.to_json()`` strings.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..api.executor import ExecutionDetail, QueryExecutor
+from ..oracle.cache import ScoreCache
+from ..parallel.runner import _SessionSpec
+
+# ----------------------------------------------------------------------
+# Worker-side state and protocol. Module-level (pickled by reference)
+# and rebuilt purely from payloads, exactly like the sweep runner.
+
+#: spec_id -> (session, worker-local group ScoreCache).
+_WORKER_SESSIONS: Dict[int, Tuple[object, ScoreCache]] = {}
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One scheduler batch, shipped to a pool worker."""
+
+    spec_id: int
+    #: Pickled ``_SessionSpec`` (entries included). The same ``bytes``
+    #: object is reused for every batch on the artifact, so the parent
+    #: pickles once; workers unpickle once thanks to the memo.
+    spec_blob: bytes
+    plans: Tuple[object, ...]
+    #: Parent-side cache entries the worker may not have yet.
+    cache_items: Tuple[Tuple[int, float], ...]
+
+
+@dataclass
+class BatchResult:
+    """Per-plan execution details plus the worker's new revelations."""
+
+    details: List[ExecutionDetail]
+    new_scores: Dict[int, float]
+
+
+def _service_worker_run(task: BatchTask) -> BatchResult:
+    """Execute one batch in a pool worker (Phase 2 only)."""
+    memo = _WORKER_SESSIONS.get(task.spec_id)
+    if memo is None:
+        spec: _SessionSpec = pickle.loads(task.spec_blob)
+        memo = (spec.build_session(), ScoreCache())
+        _WORKER_SESSIONS[task.spec_id] = memo
+    session, cache = memo
+    cache.merge(task.cache_items)
+    before = set(cache.as_dict())
+    executor = QueryExecutor(session, workers=1, score_cache=cache)
+    details = [executor.execute_detailed(plan) for plan in task.plans]
+    new_scores = {
+        frame: score
+        for frame, score in cache.as_dict().items()
+        if frame not in before
+    }
+    return BatchResult(details=details, new_scores=new_scores)
+
+
+# ----------------------------------------------------------------------
+# Parent-side helpers.
+
+
+def make_spec_blob(session, entries) -> bytes:
+    """Pickle one worker-session spec (video + config + Phase 1)."""
+    spec = _SessionSpec(
+        video=session.video,
+        scoring=session.scoring,
+        config=session.config,
+        unit_costs=session.resolved_unit_costs(),
+        entries=list(entries),
+    )
+    return pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def run_batch_in_pool(
+    pool,
+    *,
+    spec_id: int,
+    spec_blob: bytes,
+    plans,
+    shared_cache: Optional[ScoreCache],
+    shipped: Optional[set] = None,
+) -> List[ExecutionDetail]:
+    """Ship a batch to the pool; fold revelations back into the cache.
+
+    ``shipped`` is the caller-held set of frame ids already sent for
+    this ``spec_id``: only newer parent-cache entries ship (per-batch
+    cost tracks the *delta*, not the whole cache). Pool workers are
+    routed arbitrarily, so a given worker may still miss entries a
+    sibling received — harmless, it just re-reveals them physically;
+    shipping is a cost optimization, never a correctness input.
+    """
+    items: Tuple[Tuple[int, float], ...] = ()
+    if shared_cache is not None:
+        snapshot = shared_cache.as_dict()
+        if shipped is None:
+            items = tuple(snapshot.items())
+        else:
+            items = tuple(
+                (frame, score) for frame, score in snapshot.items()
+                if frame not in shipped
+            )
+            shipped.update(snapshot)
+    task = BatchTask(
+        spec_id=spec_id,
+        spec_blob=spec_blob,
+        plans=tuple(plans),
+        cache_items=items,
+    )
+    result: BatchResult = pool.submit(_service_worker_run, task).result()
+    if shared_cache is not None and result.new_scores:
+        shared_cache.merge(result.new_scores.items())
+        if shipped is not None:
+            # The executing worker holds its own revelations already;
+            # siblings will re-reveal on demand (see above).
+            shipped.update(result.new_scores)
+    return result.details

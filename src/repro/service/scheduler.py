@@ -1,0 +1,280 @@
+"""Admission, fairness, and dispatch for the query service.
+
+:class:`FairScheduler` sits between ``QueryService.submit()`` and the
+execution backends. It is deliberately generic — it moves opaque
+payloads, the service supplies the ``run_batch`` callable that turns
+them into results — so its three policies are testable in isolation:
+
+* **Admission control.** At most ``max_pending`` payloads may be
+  queued (running work does not count); a submission beyond that
+  raises :class:`~repro.errors.AdmissionError` immediately instead of
+  queueing without bound. A closed scheduler raises
+  :class:`~repro.errors.ServiceClosedError`.
+* **Per-tenant fairness.** Every tenant accumulates the *oracle
+  charge* of its completed work (reported by ``run_batch``, in
+  simulated oracle seconds). A free worker always serves the queued
+  tenant with the smallest accumulated charge — deficit scheduling on
+  the resource the paper actually meters — with FIFO order inside a
+  tenant and arrival order breaking ties.
+* **Batching.** When a worker picks a job it also drains immediately
+  following jobs of the same tenant with the same ``batch_key`` (up
+  to ``max_batch``), handing ``run_batch`` the whole list. The
+  process backend turns this into one worker-pool round trip per
+  batch instead of one per query.
+
+Workers are threads; the heavy lifting inside ``run_batch`` either
+releases the GIL (numpy kernels) or is shipped to the process pool by
+the backend, so scheduler threads stay cheap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence
+
+from ..errors import AdmissionError, ServiceClosedError, ServiceError
+
+
+class QueryFuture:
+    """A handle to one submitted query's eventual report."""
+
+    def __init__(self, seq: int, tenant: str):
+        self.seq = seq
+        self.tenant = tenant
+        self._done = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+
+    # -- producer side -------------------------------------------------
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    # -- consumer side -------------------------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the result (raises what the query raised)."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query {self.seq} (tenant {self.tenant!r}) not done "
+                f"after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(
+        self, timeout: Optional[float] = None
+    ) -> Optional[BaseException]:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query {self.seq} (tenant {self.tenant!r}) not done "
+                f"after {timeout}s")
+        return self._error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"QueryFuture(seq={self.seq}, tenant={self.tenant!r}, {state})"
+
+
+@dataclass
+class Job:
+    """One queued unit of work."""
+
+    seq: int
+    tenant: str
+    batch_key: object
+    payload: object
+    future: QueryFuture
+
+
+@dataclass
+class JobOutcome:
+    """What ``run_batch`` reports per job, aligned with its input.
+
+    ``charge`` is the oracle cost (simulated seconds) this job added
+    to its tenant's fairness account.
+    """
+
+    value: object = None
+    error: Optional[BaseException] = None
+    charge: float = 0.0
+
+
+#: The service-supplied executor: payloads in, aligned outcomes out.
+RunBatch = Callable[[Sequence[object]], List[JobOutcome]]
+
+
+class FairScheduler:
+    """Thread-pool dispatch with admission and tenant fairness."""
+
+    def __init__(
+        self,
+        run_batch: RunBatch,
+        *,
+        workers: int = 1,
+        max_pending: Optional[int] = None,
+        max_batch: int = 8,
+    ):
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_pending is not None and max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be None or >= 1, got {max_pending}")
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        self._run_batch = run_batch
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
+        self._work_ready = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queues: Dict[str, Deque[Job]] = {}
+        self._charged: Dict[str, float] = {}
+        self._pending = 0
+        self._running = 0
+        self._closed = False
+        self._seq = itertools.count()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-svc-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        payload,
+        *,
+        tenant: str = "default",
+        batch_key: object = None,
+    ) -> QueryFuture:
+        """Queue a payload; returns its future. May raise AdmissionError."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("scheduler is closed")
+            if self.max_pending is not None and \
+                    self._pending >= self.max_pending:
+                raise AdmissionError(
+                    f"{self._pending} queries already pending "
+                    f"(max_pending={self.max_pending}); retry later")
+            future = QueryFuture(next(self._seq), tenant)
+            job = Job(
+                seq=future.seq, tenant=tenant,
+                batch_key=batch_key, payload=payload, future=future)
+            self._queues.setdefault(tenant, deque()).append(job)
+            self._charged.setdefault(tenant, 0.0)
+            self._pending += 1
+            self.submitted += 1
+            self._work_ready.notify()
+            return future
+
+    def charges(self) -> Dict[str, float]:
+        """Accumulated fairness charge per tenant (oracle seconds)."""
+        with self._lock:
+            return dict(self._charged)
+
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    # ------------------------------------------------------------------
+    def _next_batch(self) -> Optional[List[Job]]:
+        """Pop the fairest next batch (caller holds the lock)."""
+        best: Optional[str] = None
+        for tenant, queue in self._queues.items():
+            if not queue:
+                continue
+            if best is None:
+                best = tenant
+                continue
+            lhs = (self._charged[tenant], queue[0].seq)
+            rhs = (self._charged[best], self._queues[best][0].seq)
+            if lhs < rhs:
+                best = tenant
+        if best is None:
+            return None
+        queue = self._queues[best]
+        batch = [queue.popleft()]
+        while (queue and len(batch) < self.max_batch
+               and batch[0].batch_key is not None
+               and queue[0].batch_key == batch[0].batch_key):
+            batch.append(queue.popleft())
+        self._pending -= len(batch)
+        self._running += len(batch)
+        return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while True:
+                    batch = self._next_batch()
+                    if batch is not None:
+                        break
+                    if self._closed:
+                        return
+                    self._work_ready.wait()
+            self._finish(batch, self._execute(batch))
+
+    def _execute(self, batch: List[Job]) -> List[JobOutcome]:
+        try:
+            outcomes = self._run_batch([job.payload for job in batch])
+        except BaseException as error:  # noqa: BLE001 - forwarded to futures
+            return [JobOutcome(error=error) for _ in batch]
+        if len(outcomes) != len(batch):  # pragma: no cover - backend bug
+            error = ServiceError(
+                f"run_batch returned {len(outcomes)} outcomes "
+                f"for {len(batch)} jobs")
+            return [JobOutcome(error=error) for _ in batch]
+        return outcomes
+
+    def _finish(self, batch: List[Job], outcomes: List[JobOutcome]) -> None:
+        with self._lock:
+            for job, outcome in zip(batch, outcomes):
+                self._charged[job.tenant] = \
+                    self._charged.get(job.tenant, 0.0) + outcome.charge
+                if outcome.error is not None:
+                    self.failed += 1
+                else:
+                    self.completed += 1
+            self._running -= len(batch)
+            self._idle.notify_all()
+        # Resolve outside the lock: result() callbacks must never be
+        # able to deadlock against the scheduler.
+        for job, outcome in zip(batch, outcomes):
+            if outcome.error is not None:
+                job.future._fail(outcome.error)
+            else:
+                job.future._resolve(outcome.value)
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no work is queued or running. True on success."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._pending == 0 and self._running == 0,
+                timeout=timeout)
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting work; queued jobs still run to completion."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._work_ready.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()

@@ -1,0 +1,515 @@
+"""The multi-tenant concurrent query service (DESIGN.md §8).
+
+:class:`QueryService` is the front door for many queries in flight at
+once::
+
+    with QueryService(workers=4) as service:
+        session = service.open_session("traffic", "count[car]",
+                                       num_frames=2_000, seed=1,
+                                       config=EverestConfig.fast())
+        futures = [
+            service.submit(session.query().topk(k).guarantee(0.9),
+                           tenant="alice")
+            for k in (5, 10, 25)
+        ]
+        reports = service.gather(futures)
+
+Submissions return :class:`~repro.service.scheduler.QueryFuture`
+handles immediately; a :class:`~repro.service.scheduler.FairScheduler`
+applies admission control and per-tenant oracle-budget fairness, and
+execution lands on either lane of :mod:`repro.service.backend`.
+Cross-query optimization comes from the shared
+:class:`~repro.service.artifacts.SharedArtifacts` layer: single-flight
+Phase-1 builds, a bounded per-group score cache that turns one query's
+cleaned tuples into every later query's warm start, and a warm-start
+checkpoint tier.
+
+Determinism contract: every submitted plan is normalized to
+``deterministic_timing`` (exactly like the sweep runner), after which
+service reports are **bit-identical** to plain serial ``Session``
+execution — the differential harness certifies it. Ledger semantics
+are per query: each report's Phase 2 charges land in their own ledger,
+:meth:`merged_cost` adds each distinct Phase-1 ledger exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..api.executor import ExecutionDetail, QueryExecutor
+from ..api.plan import QueryPlan
+from ..api.query import Query
+from ..api.session import Session, phase1_key
+from ..core.result import QueryReport
+from ..errors import QueryError, ServiceClosedError, ServiceError
+from ..oracle.cost import CostModel, merge_cost_models
+from ..parallel.pool import PersistentPool, available_cpus, resolve_workers
+from .artifacts import SharedArtifacts, group_key
+from .backend import make_spec_blob, run_batch_in_pool
+from .scheduler import FairScheduler, JobOutcome, QueryFuture
+
+
+@dataclass
+class QueryOutcome:
+    """One completed query: its report, ledger and physical cost."""
+
+    tenant: str
+    report: QueryReport
+    phase2_cost: CostModel
+    #: Physical (cache-miss) confirmations; equals the report's
+    #: confirmation count only when nothing was shared.
+    fresh_confirm_calls: Optional[int]
+    #: Submission order (ties ledger merging to a canonical order).
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class _QueryTask:
+    """Scheduler payload for one submitted plan."""
+
+    session: Session
+    plan: QueryPlan
+    tenant: str
+    seq: int
+
+
+@dataclass(frozen=True)
+class _StreamTask:
+    """Scheduler payload for one streaming append's refresh pass."""
+
+    refresh: object  # zero-arg callable -> (reports, first error)
+    session: object
+
+
+class QueryService:
+    """Accepts many concurrent queries and optimizes across them.
+
+    Parameters
+    ----------
+    workers:
+        Concurrent executions (scheduler threads; also the process
+        pool's size). Defaults through ``REPRO_WORKERS``.
+    use_processes:
+        Ship Phase 2 to a persistent process pool. Default: automatic
+        — on when more than one worker *and* more than one usable CPU.
+    max_pending:
+        Admission-control bound on queued (not yet running) queries.
+    max_batch:
+        Same-artifact queries dispatched as one batch.
+    artifact_entries / score_cache_entries:
+        LRU bounds for the shared artifact layer.
+    warm_dir:
+        Optional checkpoint directory for the warm-start tier.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        use_processes: Optional[bool] = None,
+        max_pending: Optional[int] = 256,
+        max_batch: int = 8,
+        artifact_entries: Optional[int] = None,
+        score_cache_entries: Optional[int] = None,
+        warm_dir=None,
+        start_method: Optional[str] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        if use_processes is None:
+            use_processes = self.workers > 1 and available_cpus() > 1
+        self.use_processes = bool(use_processes)
+        self.artifacts = SharedArtifacts(
+            max_entries=artifact_entries,
+            score_cache_entries=score_cache_entries,
+            warm_dir=warm_dir,
+        )
+        self._pool = PersistentPool(
+            self.workers, start_method=start_method) \
+            if self.use_processes else None
+        self._lock = threading.Lock()
+        self._submit_seq = itertools.count()
+        self._outcomes: List[QueryOutcome] = []
+        self._sessions: Dict[int, Session] = {}
+        self._spec_blobs: Dict[tuple, bytes] = {}
+        self._spec_ids: Dict[tuple, int] = {}
+        #: Frame ids already shipped to the pool per spec_id, so each
+        #: batch carries only the score-cache delta.
+        self._shipped_scores: Dict[int, set] = {}
+        self._closed = False
+        self._scheduler = FairScheduler(
+            self._run_batch,
+            workers=self.workers,
+            max_pending=max_pending,
+            max_batch=max_batch,
+        )
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        video,
+        scoring,
+        *,
+        config=None,
+        unit_costs=None,
+        **video_kwargs,
+    ) -> Session:
+        """A :class:`Session` wired into the shared artifact layer.
+
+        Accepts objects or registry names like :meth:`Session.open`.
+        The session's Phase-1 builds go through the single-flight
+        store and its executors confirm through the service-scope
+        score cache — including direct ``session.execute(...)`` calls
+        that never touch the scheduler.
+        """
+        self._check_open()
+        session = Session.open(
+            video, scoring,
+            config=config, unit_costs=unit_costs, **video_kwargs)
+        return self.adopt_session(session)
+
+    def adopt_session(self, session: Session) -> Session:
+        """Bind an existing batch session to the shared artifact layer."""
+        self._check_open()
+        group = group_key(session.video, session.scoring)
+        session.bind_service(
+            self.artifacts, self.artifacts.score_cache(group))
+        with self._lock:
+            self._sessions[id(session)] = session
+        return session
+
+    def open_stream(
+        self,
+        video,
+        scoring,
+        *,
+        initial_frames: Optional[int] = None,
+        tenant: str = "stream",
+        **kwargs,
+    ):
+        """Open a streaming session whose state the service hosts.
+
+        The session's per-append subscription refreshes dispatch
+        through the scheduler (admission + fairness against batch
+        tenants), and its score / block-inference caches come from the
+        shared artifact layer, so a later stream over the same (video,
+        UDF, config) warm-starts instead of re-inferring. Accepts
+        objects or registry names like :meth:`Session.open_stream`.
+        """
+        self._check_open()
+        from ..api.registry import resolve_udf, resolve_video
+
+        video_kwargs = kwargs.pop("video_kwargs", None) or {}
+        if isinstance(video, str):
+            video = resolve_video(video, **video_kwargs)
+        elif video_kwargs:
+            raise QueryError(
+                "video_kwargs needs a registry name, not a video object")
+        if isinstance(scoring, str):
+            scoring = resolve_udf(scoring)
+        stream = Session.open_stream(
+            video, scoring, initial_frames=initial_frames,
+            score_cache=self.artifacts.score_cache(
+                group_key(video, scoring)),
+            **kwargs)
+        return self.attach_stream(stream, tenant=tenant)
+
+    def attach_stream(self, stream, *, tenant: str = "stream"):
+        """Route a streaming session's refreshes through the scheduler.
+
+        Each ``append()`` submits one refresh pass as a scheduled job
+        under ``tenant`` — admission control applies, and the physical
+        confirmation work it causes is charged to the tenant's
+        fairness account. The pass itself runs in the scheduler's
+        worker thread (streaming state is single-process), never on
+        the process pool. The shared block-inference cache for the
+        stream's artifact is installed so sibling streams reuse proxy
+        inference.
+        """
+        self._check_open()
+        from ..streaming.session import StreamingSession
+
+        if not isinstance(stream, StreamingSession):
+            raise QueryError(
+                "attach_stream expects a StreamingSession; open one "
+                "with Session.open_stream(...) or service.open_stream")
+        artifact = (
+            group_key(stream.video, stream.scoring),
+            phase1_key(stream.config),
+        )
+        stream.share_inference_cache(self.artifacts.block_cache(artifact))
+
+        def dispatch(refresh):
+            future = self._scheduler.submit(
+                _StreamTask(refresh=refresh, session=stream),
+                tenant=tenant,
+                batch_key=None,
+            )
+            return future.result()
+
+        stream.refresh_dispatcher = dispatch
+        with self._lock:
+            self._sessions[id(stream)] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query,
+        *,
+        session: Optional[Session] = None,
+        tenant: str = "default",
+    ) -> QueryFuture:
+        """Queue one query; returns a future for its report.
+
+        ``query`` is a fluent :class:`~repro.api.query.Query` (its
+        session is implied) or a compiled
+        :class:`~repro.api.plan.QueryPlan` (pass ``session=``). Plans
+        are normalized to deterministic timing so results are
+        bit-identical to serial execution regardless of scheduling.
+        Raises :class:`~repro.errors.AdmissionError` beyond
+        ``max_pending`` and :class:`~repro.errors.ServiceClosedError`
+        after :meth:`close`.
+        """
+        self._check_open()
+        if isinstance(query, Query):
+            if session is None:
+                session = query.session
+            plan = query.plan()
+        elif isinstance(query, QueryPlan):
+            if session is None:
+                raise QueryError(
+                    "submitting a compiled QueryPlan needs session=...")
+            plan = query
+        else:
+            raise QueryError(
+                f"submit expects a Query or QueryPlan, got {query!r}")
+        if not plan.deterministic_timing:
+            plan = dataclasses.replace(plan, deterministic_timing=True)
+        # Plain batch sessions are adopted on first submission so their
+        # Phase-1 builds go single-flight through the shared store and
+        # their confirmations hit the group score cache. Streaming
+        # sessions keep their own incremental machinery (attach_stream
+        # wires them in explicitly).
+        if session.artifacts is None and not hasattr(session, "append"):
+            self.adopt_session(session)
+        with self._lock:
+            self._sessions.setdefault(id(session), session)
+        task = _QueryTask(
+            session=session, plan=plan, tenant=tenant,
+            seq=next(self._submit_seq))
+        batch_key = (id(session), phase1_key(plan.config))
+        return self._scheduler.submit(
+            task, tenant=tenant, batch_key=batch_key)
+
+    def submit_many(
+        self,
+        queries: Sequence,
+        *,
+        session: Optional[Session] = None,
+        tenant: str = "default",
+    ) -> List[QueryFuture]:
+        """Submit a sequence of queries/plans (one future each)."""
+        return [
+            self.submit(query, session=session, tenant=tenant)
+            for query in queries
+        ]
+
+    def gather(
+        self,
+        futures: Sequence[QueryFuture],
+        *,
+        timeout: Optional[float] = None,
+    ) -> List[QueryReport]:
+        """Reports for ``futures`` in submission order (blocking)."""
+        return [future.result(timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Execution (called on scheduler worker threads)
+    # ------------------------------------------------------------------
+    def _run_batch(self, payloads) -> List[JobOutcome]:
+        first = payloads[0]
+        if isinstance(first, _StreamTask):
+            # Stream refreshes are submitted with batch_key=None, so
+            # they arrive one per batch.
+            return [self._run_stream(task) for task in payloads]
+        return self._run_queries(list(payloads))
+
+    def _run_stream(self, task: _StreamTask) -> JobOutcome:
+        before = task.session.stats.fresh_confirm_calls
+        try:
+            value = task.refresh()
+        except BaseException as error:  # noqa: BLE001 - to the future
+            return JobOutcome(error=error)
+        confirm_unit = task.session.resolved_unit_costs() \
+            .get("oracle_confirm", 0.0)
+        fresh = task.session.stats.fresh_confirm_calls - before
+        return JobOutcome(value=value, charge=fresh * confirm_unit)
+
+    def _run_queries(self, tasks: List[_QueryTask]) -> List[JobOutcome]:
+        session = tasks[0].session
+        outcomes: List[JobOutcome] = []
+        # Phase 1 first: single-flight through the shared store (the
+        # batch shares one artifact by construction of batch_key).
+        try:
+            entries = [
+                (task.plan.config, session.phase1(task.plan.config))
+                for task in tasks
+            ]
+        except BaseException as error:  # noqa: BLE001 - to the futures
+            return [JobOutcome(error=error) for _ in tasks]
+
+        details: List[Optional[ExecutionDetail]] = []
+        errors: List[Optional[BaseException]] = []
+        # Streaming sessions always execute inline: the process lane
+        # memoizes a pickled snapshot of the session per spec_id, and a
+        # stream's video advances between appends — a worker would
+        # answer over a stale watermark while the inline lane answers
+        # over the live one. Batch sessions are immutable snapshots, so
+        # only they may ship.
+        if self._pool is not None and not hasattr(session, "append"):
+            try:
+                details = list(self._execute_remote(
+                    session, [task.plan for task in tasks], entries))
+                errors = [None] * len(details)
+            except BaseException as error:  # noqa: BLE001
+                details = [None] * len(tasks)
+                errors = [error] * len(tasks)
+        else:
+            executor = QueryExecutor(session, workers=1)
+            for task in tasks:
+                try:
+                    details.append(executor.execute_detailed(task.plan))
+                    errors.append(None)
+                except BaseException as error:  # noqa: BLE001
+                    details.append(None)
+                    errors.append(error)
+
+        for task, detail, error in zip(tasks, details, errors):
+            if error is not None or detail is None:
+                outcomes.append(JobOutcome(
+                    error=error if error is not None
+                    else ServiceError("query produced no result")))
+                continue
+            outcome = QueryOutcome(
+                tenant=task.tenant,
+                report=detail.report,
+                phase2_cost=detail.phase2_cost,
+                fresh_confirm_calls=detail.fresh_confirm_calls,
+                seq=task.seq,
+            )
+            with self._lock:
+                self._outcomes.append(outcome)
+            outcomes.append(JobOutcome(
+                value=detail.report,
+                charge=detail.phase2_cost.seconds("oracle_confirm"),
+            ))
+        return outcomes
+
+    def _execute_remote(self, session, plans, entries):
+        key = (id(session), phase1_key(plans[0].config))
+        with self._lock:
+            blob = self._spec_blobs.get(key)
+            if blob is None:
+                blob = make_spec_blob(session, entries)
+                self._spec_blobs[key] = blob
+                self._spec_ids[key] = len(self._spec_ids)
+            spec_id = self._spec_ids[key]
+            shipped = self._shipped_scores.setdefault(spec_id, set())
+        return run_batch_in_pool(
+            self._pool,
+            spec_id=spec_id,
+            spec_blob=blob,
+            plans=plans,
+            shared_cache=session.shared_score_cache,
+            shipped=shipped,
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting and introspection
+    # ------------------------------------------------------------------
+    def outcomes(self) -> List[QueryOutcome]:
+        """Completed query outcomes, in completion order."""
+        with self._lock:
+            return list(self._outcomes)
+
+    def merged_cost(self) -> CostModel:
+        """One service-level ledger: Phase 1 once per key + every query.
+
+        Mirrors :meth:`~repro.parallel.runner.SweepOutcome.merged_cost`:
+        per-query Phase 2 ledgers merge key-wise and each distinct
+        Phase-1 ledger is added exactly once, however many queries (or
+        tenants) shared it. The merge order is canonical — Phase-1
+        ledgers by artifact digest, Phase-2 by submission order — so
+        the result is bit-identical run to run (float addition is not
+        associative) and comparable against a serial reference merged
+        the same way.
+        """
+        with self._lock:
+            phase2 = [
+                outcome.phase2_cost
+                for outcome in sorted(self._outcomes, key=lambda o: o.seq)
+            ]
+        return merge_cost_models([*self.artifacts.phase1_ledgers(), *phase2])
+
+    def tenant_charges(self) -> Dict[str, float]:
+        """Accumulated fairness charge per tenant (oracle seconds)."""
+        return self._scheduler.charges()
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of service health counters."""
+        snapshot = self.artifacts.snapshot()
+        snapshot.update(
+            submitted=self._scheduler.submitted,
+            completed=self._scheduler.completed,
+            failed=self._scheduler.failed,
+            pending=self._scheduler.pending(),
+            workers=self.workers,
+            use_processes=self.use_processes,
+            tenants=self.tenant_charges(),
+        )
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("query service is closed")
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for all accepted work to finish. True on success."""
+        return self._scheduler.drain(timeout)
+
+    def close(self) -> None:
+        """Stop accepting queries, finish accepted ones, free the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._scheduler.close(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown()
+        with self._lock:
+            for session in self._sessions.values():
+                if getattr(session, "refresh_dispatcher", None) is not None:
+                    session.refresh_dispatcher = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lane = "processes" if self.use_processes else "threads"
+        return (
+            f"QueryService(workers={self.workers}, lane={lane}, "
+            f"completed={self._scheduler.completed})"
+        )

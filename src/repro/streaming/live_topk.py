@@ -20,122 +20,38 @@ physical cost streaming actually pays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import List, Optional
 
 from ..api.executor import QueryExecutor
 from ..core.result import QueryReport
-from ..errors import OracleBudgetExceededError, QueryError
-from ..oracle.base import Oracle
-from ..oracle.cost import CostModel
+from ..errors import QueryError
+# Promoted to repro.oracle.cache (the service layer shares them across
+# sessions); re-exported here for the streaming-era import path.
+from ..oracle.cache import CachingOracle, ScoreCache  # noqa: F401
 from .phase1_incremental import StreamingStats
-
-
-class ScoreCache:
-    """Session-wide memo of revealed exact frame scores.
-
-    Keyed by frame id; scores are deterministic per frame, so an entry
-    never invalidates. Shared by the Phase-1 label oracle, the drift
-    auditor, and every subscription's confirming oracle.
-    """
-
-    def __init__(self, scores: Optional[Dict[int, float]] = None):
-        self._scores: Dict[int, float] = dict(scores or {})
-
-    def __len__(self) -> int:
-        return len(self._scores)
-
-    def __contains__(self, frame: int) -> bool:
-        return int(frame) in self._scores
-
-    def get(self, frame: int) -> float:
-        return self._scores[int(frame)]
-
-    def put(self, frame: int, score: float) -> None:
-        self._scores[int(frame)] = float(score)
-
-    def as_dict(self) -> Dict[int, float]:
-        return dict(self._scores)
-
-
-class CachingOracle(Oracle):
-    """An :class:`~repro.oracle.base.Oracle` that memoizes revelations.
-
-    Charging, call counting, and budget enforcement are identical to
-    the base oracle — a query's ledger and
-    :class:`~repro.core.result.QueryReport.oracle_calls` must match a
-    batch run's exactly. Only the *physical* UDF invocation is skipped
-    for frames already in the cache; ``fresh_calls`` counts the misses.
-    """
-
-    def __init__(
-        self,
-        scoring,
-        cost_model: Optional[CostModel] = None,
-        *,
-        cache: ScoreCache,
-        budget: Optional[int] = None,
-        cost_key: Optional[str] = None,
-    ):
-        super().__init__(
-            scoring, cost_model, budget=budget, cost_key=cost_key)
-        self.cache = cache
-        self.fresh_calls = 0
-
-    def score(self, video, indices: Sequence[int]) -> np.ndarray:
-        indices = [int(i) for i in indices]
-        if self.budget is not None and \
-                self.calls + len(indices) > self.budget:
-            raise OracleBudgetExceededError(self.budget)
-        self.calls += len(indices)
-        self.cost_model.charge(self.cost_key, len(indices))
-        seen = set()
-        missing = [
-            i for i in indices
-            if i not in self.cache and not (i in seen or seen.add(i))
-        ]
-        if missing:
-            frames = [video.frame(i) for i in missing]
-            for i, score in zip(missing, self.scoring(frames)):
-                self.cache.put(i, float(score))
-            self.fresh_calls += len(missing)
-        return np.asarray(
-            [self.cache.get(i) for i in indices], dtype=np.float64)
 
 
 class StreamingQueryExecutor(QueryExecutor):
     """The batch executor with a cache-backed confirming oracle.
 
     Everything else — relation cloning, window aggregation, ledger
-    assembly, report construction — is inherited verbatim, which is
-    what keeps live reports bit-identical to batch ones.
+    assembly, report construction — is inherited verbatim (the base
+    executor builds a :class:`~repro.oracle.cache.CachingOracle`
+    whenever it has a score cache), which is what keeps live reports
+    bit-identical to batch ones.
     """
 
     def __init__(self, session, *, cache: ScoreCache,
                  stats: Optional[StreamingStats] = None):
-        super().__init__(session, workers=1)
-        self._cache = cache
+        super().__init__(session, workers=1, score_cache=cache)
         self._stats = stats
-
-    def _phase2_context(self, plan):
-        phase2_cost = CostModel(
-            plan.unit_costs, wall_clock=not plan.deterministic_timing)
-        confirm_oracle = CachingOracle(
-            self.session.scoring,
-            phase2_cost,
-            cache=self._cache,
-            cost_key="oracle_confirm",
-            budget=plan.oracle_budget,
-        )
-        self._last_confirm = confirm_oracle
-        return phase2_cost, confirm_oracle
 
     def execute_fresh(self, plan) -> "tuple[QueryReport, int]":
         """Execute a plan; also return the fresh-confirmation count."""
-        self._last_confirm: Optional[CachingOracle] = None
+        self.last_confirm_oracle = None
         report = self.execute(plan)
-        fresh = self._last_confirm.fresh_calls if self._last_confirm else 0
+        oracle = self.last_confirm_oracle
+        fresh = getattr(oracle, "fresh_calls", 0) if oracle else 0
         if self._stats is not None:
             self._stats.fresh_confirm_calls += fresh
         return report, fresh

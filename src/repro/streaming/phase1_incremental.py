@@ -237,9 +237,16 @@ class BlockInferenceCache:
                 self._blocks[b] = (key, mixture)
                 if stats is not None:
                     stats.fresh_inferred_frames += int(ids.size)
-            parts.append(self._blocks[b][1])
+            else:
+                mixture = cached[1]
+            # Use the locally validated mixture, never a re-read: a
+            # sibling session sharing this cache at a different
+            # watermark may have replaced the slot in the meantime.
+            parts.append(mixture)
         for b in [b for b in self._blocks if b >= num_blocks]:
-            del self._blocks[b]
+            # pop, not del: a service-shared cache may see a sibling
+            # session trim the same stale block concurrently.
+            self._blocks.pop(b, None)
         return GaussianMixture(
             pi=np.concatenate([p.pi for p in parts]),
             mu=np.concatenate([p.mu for p in parts]),
@@ -357,6 +364,22 @@ class IncrementalPhase1:
         self._train_scores = np.zeros(0)
         self._holdout_scores = np.zeros(0)
         self.sample_epochs = 0
+
+    # ------------------------------------------------------------------
+    def adopt_inference_cache(self, shared: "BlockInferenceCache") -> None:
+        """Share proxy-inference blocks with sibling sessions.
+
+        The service layer keys shared caches by the full artifact
+        (video content, UDF, *and* phase1 configuration), under which
+        bootstrap proxies are bit-identical — so cached mixtures are
+        interchangeable. A session that has warm-retrained holds a
+        different proxy and must keep its private cache (see
+        :meth:`_warm_retrain`), so adoption is refused after retrain.
+        """
+        if shared is self.blocks or self.diverged:
+            return
+        shared._blocks.update(self.blocks._blocks)
+        self.blocks = shared
 
     # ------------------------------------------------------------------
     def bootstrap(self):
@@ -536,8 +559,12 @@ class IncrementalPhase1:
             seed=self.config.seed + 0x9E7 + segment.index,
         )
         self._charge_extra("cmdn_train", frames.size * epochs)
-        # Stale mixtures: the proxy changed, re-infer everything.
-        self.blocks.clear()
+        # Stale mixtures: the proxy changed, re-infer everything. A
+        # *fresh private* cache, not clear(): when the cache is shared
+        # at service scope, sibling sessions still hold the original
+        # proxy and their cached mixtures stay valid — this session's
+        # retrained proxy must never repopulate a shared cache.
+        self.blocks = BlockInferenceCache()
         tracker.rebase(self.proxy.holdout_nll(
             self.video.batch_pixels(self.holdout_idx),
             self._holdout_scores,

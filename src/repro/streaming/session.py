@@ -84,6 +84,7 @@ class StreamingSession(Session):
         unit_costs: Optional[Dict[str, float]] = None,
         streaming: Optional[StreamingConfig] = None,
         autosave_path=None,
+        score_cache: Optional[ScoreCache] = None,
     ):
         if isinstance(video, StreamingVideo):
             if initial_frames is not None:
@@ -112,8 +113,16 @@ class StreamingSession(Session):
         self.streaming = streaming if streaming is not None \
             else StreamingConfig()
         self.autosave_path = autosave_path
-        self._cache = ScoreCache()
+        # ``score_cache`` lets the service layer promote this session's
+        # revelation memo to service scope (shared with batch queries
+        # over the same footage); ledgers are unaffected either way.
+        self._cache = score_cache if score_cache is not None \
+            else ScoreCache()
         self._stats = StreamingStats()
+        #: Service hook: when set, ``append`` hands the per-append
+        #: subscription refresh pass to this callable (the service
+        #: routes it through its scheduler) instead of running inline.
+        self.refresh_dispatcher = None
         self._label_oracle = CachingOracle(
             scoring,
             CostModel(self._unit_costs),
@@ -190,15 +199,20 @@ class StreamingSession(Session):
         # Phase-1 state have already advanced, so the append must
         # complete its bookkeeping either way — the first error
         # re-raises after the result is logged, leaving the session
-        # consistent and retryable.
-        reports = []
-        refresh_error: Optional[BaseException] = None
-        for subscription in self._subscriptions:
+        # consistent and retryable. A service-attached session hands
+        # the whole pass to the dispatcher (one scheduled job, so it
+        # competes fairly with batch tenants) and blocks on it — and a
+        # dispatch failure (admission refusal, service closing) is
+        # treated exactly like a refresh failure: bookkeeping below
+        # still runs, the error re-raises at the end.
+        if self.refresh_dispatcher is not None:
             try:
-                reports.append(subscription.refresh(self._executor()))
+                reports, refresh_error = \
+                    self.refresh_dispatcher(self._refresh_subscriptions)
             except Exception as error:
-                if refresh_error is None:
-                    refresh_error = error
+                reports, refresh_error = [], error
+        else:
+            reports, refresh_error = self._refresh_subscriptions()
         self._stats.appends += 1
         self._sync_label_stats()
         after = self._stats.snapshot()
@@ -232,6 +246,27 @@ class StreamingSession(Session):
         if refresh_error is not None:
             raise refresh_error
         return result
+
+    def _refresh_subscriptions(self):
+        """One refresh pass over every subscription (see append)."""
+        reports: List[QueryReport] = []
+        refresh_error: Optional[BaseException] = None
+        for subscription in self._subscriptions:
+            try:
+                reports.append(subscription.refresh(self._executor()))
+            except Exception as error:
+                if refresh_error is None:
+                    refresh_error = error
+        return reports, refresh_error
+
+    def share_inference_cache(self, shared) -> None:
+        """Adopt a service-scope block-inference cache (DESIGN.md §8).
+
+        Proxy mixtures already inferred by sibling sessions over the
+        same artifact become free here (and vice versa). No-op once
+        this session has warm-retrained — its proxy is private then.
+        """
+        self._incremental.adopt_inference_cache(shared)
 
     def subscribe(self, query) -> LiveTopK:
         """Register a query for per-append maintenance.

@@ -1,7 +1,9 @@
-"""Golden-report fixtures: small fig5/fig7-style sweeps, checked in.
+"""Golden-report fixtures: small fig5/6/7/9-style sweeps, checked in.
 
 The checked-in JSON under ``tests/data/`` pins the exact
-`QueryReport` output of two deterministic sweeps. The tests assert
+`QueryReport` output of four deterministic sweeps — the K sweep
+(fig5), the threshold sweep (fig6), the window sweep (fig7), and the
+depth-UDF scenarios (fig9). The tests assert
 
 * a fresh serial run reproduces the fixtures byte-for-byte,
 * process-pool runs at several worker counts reproduce the same bytes
@@ -24,13 +26,15 @@ import pytest
 from repro import EverestConfig, ParallelRunner, Session
 from repro.core.result import QueryReport
 from repro.oracle import counting_udf
-from repro.video import TrafficVideo
+from repro.oracle.depth import tailgating_udf
+from repro.video import DashcamVideo, TrafficVideo
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "data"
 
-#: The two recorded sweeps: fig5-style (K sweep) and fig7-style
-#: (window-size sweep), both deterministic by construction.
-SWEEPS = ("fig5_quick", "fig7_quick")
+#: The recorded sweeps: fig5-style (K sweep), fig6-style (threshold
+#: sweep), fig7-style (window-size sweep) and fig9-style (depth-UDF
+#: scenarios), all deterministic by construction.
+SWEEPS = ("fig5_quick", "fig6_quick", "fig7_quick", "fig9_quick")
 
 
 def _dump(reports) -> str:
@@ -44,22 +48,40 @@ def golden_session():
 
 
 @pytest.fixture(scope="module")
-def golden_plans(golden_session):
+def golden_dashcam_session():
+    video = DashcamVideo("golden-dash", 700, seed=12)
+    return Session(video, tailgating_udf(), config=EverestConfig.fast())
+
+
+@pytest.fixture(scope="module")
+def golden_plans(golden_session, golden_dashcam_session):
+    """name -> (session, plans): each sweep runs on its own session."""
     base = golden_session.query().guarantee(0.9).deterministic_timing()
+    dash = golden_dashcam_session.query().deterministic_timing()
     return {
-        "fig5_quick": [base.topk(k).plan() for k in (3, 5)],
-        "fig7_quick": [
+        "fig5_quick": (golden_session, [
+            base.topk(k).plan() for k in (3, 5)]),
+        "fig6_quick": (golden_session, [
+            base.topk(4).guarantee(thres).plan()
+            for thres in (0.5, 0.9, 0.99)]),
+        "fig7_quick": (golden_session, [
             base.topk(4).plan(),
             base.topk(4).windows(size=20).plan(),
-        ],
+        ]),
+        "fig9_quick": (golden_dashcam_session, [
+            dash.topk(3).guarantee(0.9).plan(),
+            dash.topk(5).guarantee(0.9).plan(),
+            dash.topk(3).guarantee(0.75).plan(),
+            dash.topk(3).guarantee(0.9).windows(size=20).plan(),
+        ]),
     }
 
 
 @pytest.fixture(scope="module")
-def serial_reports(golden_session, golden_plans):
+def serial_reports(golden_plans):
     reports = {
-        name: ParallelRunner(1).run_sweep(golden_session, plans)
-        for name, plans in golden_plans.items()
+        name: ParallelRunner(1).run_sweep(session, plans)
+        for name, (session, plans) in golden_plans.items()
     }
     if os.environ.get("REPRO_REGEN_GOLDEN"):
         GOLDEN_DIR.mkdir(exist_ok=True)
@@ -75,10 +97,9 @@ def test_serial_sweep_matches_golden_fixture(serial_reports, name):
 
 
 @pytest.mark.parametrize("workers", [2, 3])
-def test_pooled_sweeps_match_golden_fixtures(
-        golden_session, golden_plans, workers):
-    for name, plans in golden_plans.items():
-        pooled = ParallelRunner(workers).run_sweep(golden_session, plans)
+def test_pooled_sweeps_match_golden_fixtures(golden_plans, workers):
+    for name, (session, plans) in golden_plans.items():
+        pooled = ParallelRunner(workers).run_sweep(session, plans)
         fixture = (GOLDEN_DIR / f"{name}.json").read_text()
         assert _dump(pooled) == fixture, f"{name} workers={workers}"
 
@@ -104,3 +125,25 @@ def test_golden_reports_answer_their_queries():
             report = QueryReport.from_dict(entry)
             assert report.confidence >= report.thres
             assert len(report.answer_ids) == report.k
+
+
+def test_query_service_reproduces_golden_fixtures(golden_plans):
+    """Concurrent service execution lands on the same recorded bytes."""
+    from repro import QueryService
+
+    sessions = {session for session, _ in golden_plans.values()}
+    try:
+        with QueryService(workers=3, use_processes=False) as service:
+            futures = {}
+            for name, (session, plans) in golden_plans.items():
+                service.adopt_session(session)
+                futures[name] = [
+                    service.submit(plan, session=session) for plan in plans]
+            for name, sweep in futures.items():
+                fixture = (GOLDEN_DIR / f"{name}.json").read_text()
+                reports = service.gather(sweep, timeout=120)
+                assert _dump(reports) == fixture, name
+    finally:
+        # The module-scoped sessions outlive this service: unbind them.
+        for session in sessions:
+            session.bind_service(None, None)

@@ -1,0 +1,166 @@
+"""Hypothesis fuzzing of the registry's query-string parsing.
+
+The ``"count[car]"`` spec grammar is the service's untrusted input
+surface (clients name UDFs and videos by string). Properties:
+
+* arbitrary text either resolves or raises a *clean*
+  :class:`~repro.errors.ConfigurationError` — which is a
+  :class:`ValueError` — never a bare ``AttributeError`` / regex error
+  / float-conversion ``ValueError`` from inside a factory;
+* parsing and formatting are inverse bijections on the valid grammar
+  (round-trip property in both directions);
+* resolved UDFs are real scoring functions for every registered
+  family and well-formed argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.registry import (
+    format_udf_spec,
+    list_udfs,
+    parse_udf_spec,
+    resolve_udf,
+    resolve_video,
+)
+from repro.errors import ConfigurationError
+from repro.oracle.base import ScoringFunction
+
+#: Characters a valid UDF name may contain ([A-Za-z0-9_-]).
+NAME_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-")
+
+valid_names = st.text(alphabet=NAME_ALPHABET, min_size=1, max_size=20)
+valid_args = st.text(min_size=1, max_size=20).filter(
+    lambda s: "]" not in s and parse_ok(s))
+
+
+def parse_ok(arg: str) -> bool:
+    try:
+        return parse_udf_spec(f"x[{arg}]") == ("x", arg)
+    except ConfigurationError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Malformed input never escapes as anything but a clean ValueError.
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(spec=st.text(max_size=40))
+def test_arbitrary_text_resolves_or_raises_clean_valueerror(spec):
+    try:
+        udf = resolve_udf(spec)
+    except ConfigurationError as error:
+        # Clean: the standard exception type, with the offending spec
+        # (or its name part) mentioned for debuggability.
+        assert isinstance(error, ValueError)
+        assert str(error)
+    else:
+        assert isinstance(udf, ScoringFunction)
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(
+    name=valid_names,
+    arg=st.one_of(st.none(), st.text(max_size=20)),
+)
+def test_structured_specs_resolve_or_raise_clean_valueerror(name, arg):
+    spec = name if arg is None else f"{name}[{arg}]"
+    try:
+        udf = resolve_udf(spec)
+    except ConfigurationError as error:
+        assert isinstance(error, ValueError)
+    else:
+        assert isinstance(udf, ScoringFunction)
+
+
+@pytest.mark.parametrize("bad", [
+    None, 7, 3.5, ["count"], {"name": "count"},
+])
+def test_non_string_specs_raise_clean_valueerror(bad):
+    with pytest.raises(ValueError):
+        resolve_udf(bad)
+
+
+@pytest.mark.parametrize("spec", [
+    "", "[]", "count[", "count]", "count[]", "count[car",
+    "count[car]]", "count[[car]", "count[car][x]", "co unt[car]",
+    "count [car]", "c@unt", "count\n[car]", "[car]",
+])
+def test_known_malformed_specs_raise(spec):
+    with pytest.raises(ConfigurationError):
+        parse_udf_spec(spec)
+
+
+@pytest.mark.parametrize("spec", [
+    "tailgating[not-a-number]",
+    "sentiment[NaN kidding]",
+    "tailgating[--3]",
+])
+def test_factory_argument_failures_are_wrapped(spec):
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_udf(spec)
+    assert spec in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties on the valid grammar.
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(name=valid_names, arg=st.one_of(st.none(), valid_args))
+def test_format_then_parse_round_trips(name, arg):
+    spec = format_udf_spec(name, arg)
+    assert parse_udf_spec(spec) == (name, arg)
+    # Formatting is also idempotent through a second cycle.
+    assert format_udf_spec(*parse_udf_spec(spec)) == spec
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(spec=st.text(max_size=40))
+def test_parse_then_format_is_identity_on_valid_specs(spec):
+    try:
+        name, arg = parse_udf_spec(spec)
+    except ConfigurationError:
+        return
+    assert format_udf_spec(name, arg) == spec
+
+
+def test_format_rejects_unroundtrippable_pairs():
+    with pytest.raises(ConfigurationError):
+        format_udf_spec("a[b]")
+    with pytest.raises(ConfigurationError):
+        format_udf_spec("count", "a]b")
+    with pytest.raises(ConfigurationError):
+        format_udf_spec("", "car")
+
+
+# ----------------------------------------------------------------------
+# Registered families resolve to real scoring functions.
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(data=st.data())
+def test_registered_udfs_resolve_with_wellformed_args(data):
+    name = data.draw(st.sampled_from(list_udfs()))
+    if name == "count":
+        arg = data.draw(st.one_of(
+            st.none(), st.sampled_from(["car", "person", "bike"])))
+    else:
+        arg = data.draw(st.one_of(
+            st.none(),
+            st.floats(0.05, 30.0, allow_nan=False).map(lambda f: f"{f:g}"),
+        ))
+    spec = format_udf_spec(name, arg)
+    udf = resolve_udf(spec)
+    assert isinstance(udf, ScoringFunction)
+    assert udf.name
+
+
+def test_unknown_names_list_known_ones():
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_udf("definitely-not-registered")
+    assert "count" in str(excinfo.value)
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_video("definitely-not-registered")
+    assert "traffic" in str(excinfo.value)
