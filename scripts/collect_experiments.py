@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from repro.experiments import (
     ExperimentScale,
+    corpus_federated,
     fig4,
     fig5,
     fig6,
@@ -88,6 +89,10 @@ def main() -> None:
         # Streaming measurements carry their own row type (per-append
         # live-vs-batch cost), so only the rendered table is persisted.
         ("streaming", lambda: (streaming_latency.main(scale), None)),
+        # Federated corpus: one global top-k over a fleet of counting
+        # videos, with the cross-shard budget allocation per shard.
+        ("corpus", lambda: (
+            corpus_federated.main(scale, workers=workers), None)),
     ]
     all_reports: list = []
     with open(out_path, "w") as handle:

@@ -40,6 +40,12 @@ from .api import (
     open_session,
 )
 from .parallel import ParallelRunner, resolve_workers
+from .corpus import (
+    CorpusQuery,
+    CorpusSubscription,
+    FederatedTopK,
+    VideoCorpus,
+)
 from .service import QueryFuture, QueryService
 from .streaming import StreamingConfig, StreamingSession
 from .video.streaming import StreamingVideo
@@ -47,6 +53,8 @@ from .errors import (
     AdmissionError,
     CheckpointError,
     ConfigurationError,
+    CorpusError,
+    ShardBudgetExceededError,
     GuaranteeUnreachableError,
     ModelError,
     OracleBudgetExceededError,
@@ -73,6 +81,10 @@ __all__ = [
     "StreamingSession",
     "StreamingConfig",
     "StreamingVideo",
+    "VideoCorpus",
+    "CorpusQuery",
+    "CorpusSubscription",
+    "FederatedTopK",
     "open_session",
     "EverestEngine",
     "QueryReport",
@@ -88,6 +100,8 @@ __all__ = [
     "ModelError",
     "OracleError",
     "OracleBudgetExceededError",
+    "ShardBudgetExceededError",
+    "CorpusError",
     "UncertainRelationError",
     "QueryError",
     "GuaranteeUnreachableError",

@@ -28,11 +28,15 @@ from .query import Query
 from .plan import QueryPlan
 from .executor import ExecutionDetail, QueryExecutor
 from .registry import (
+    format_corpus_spec,
     list_udfs,
     list_videos,
+    open_corpus,
     open_session,
+    parse_corpus_spec,
     register_udf,
     register_video,
+    resolve_corpus,
     resolve_udf,
     resolve_video,
 )
@@ -46,10 +50,14 @@ __all__ = [
     "QueryExecutor",
     "ExecutionDetail",
     "open_session",
+    "open_corpus",
     "register_udf",
     "register_video",
     "resolve_udf",
     "resolve_video",
+    "resolve_corpus",
+    "parse_corpus_spec",
+    "format_corpus_spec",
     "list_udfs",
     "list_videos",
 ]

@@ -181,6 +181,35 @@ class Query:
         return self.session.execute_many(
             [self.plan()], workers=workers)[0]
 
+    def over_corpus(self, corpus) -> "object":
+        """Re-target this query's parameters at a whole corpus.
+
+        Returns a :class:`~repro.corpus.query.CorpusQuery` carrying
+        this builder's K, guarantee, budget, config override and
+        timing mode — the federated equivalent of the same query. The
+        session is dropped (the corpus owns one per member); window
+        clauses do not transfer, since window aggregation across shard
+        boundaries is undefined.
+        """
+        from ..corpus.corpus import VideoCorpus
+        from ..corpus.query import CorpusQuery
+
+        if not isinstance(corpus, VideoCorpus):
+            raise QueryError(
+                f"over_corpus expects a VideoCorpus, got {corpus!r}")
+        if self._mode == "windows":
+            raise QueryError(
+                "window queries cannot target a corpus; window "
+                "aggregation across shard boundaries is undefined")
+        return CorpusQuery(
+            corpus=corpus,
+            _k=self._k,
+            _thres=self._thres,
+            _oracle_budget=self._oracle_budget,
+            _config=self._config,
+            _deterministic_timing=self._deterministic_timing,
+        )
+
     def subscribe(self):
         """Maintain this query live over a streaming session.
 

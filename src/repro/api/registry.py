@@ -39,6 +39,12 @@ VideoFactory = Callable[..., SyntheticVideo]
 
 _UDF_SPEC = re.compile(r"^(?P<name>[\w-]+)(?:\[(?P<arg>[^\[\]]+)\])?$")
 _UDF_NAME = re.compile(r"^[\w-]+$")
+#: Corpus specs: ``<udf-spec>@{member,member,...}``. The UDF half is
+#: validated by :func:`parse_udf_spec`; member names share the UDF /
+#: video registry name grammar (one pattern, not two copies to drift).
+_CORPUS_SPEC = re.compile(
+    r"^(?P<udf>[^@{}]+)@\{(?P<members>[^{}]*)\}$")
+_MEMBER_NAME = _UDF_NAME
 
 _udf_registry: Dict[str, UdfFactory] = {}
 _video_registry: Dict[str, VideoFactory] = {}
@@ -119,6 +125,86 @@ def format_udf_spec(name: str, arg: Optional[str] = None) -> str:
 
 #: Backwards-compatible alias for the pre-service private name.
 _parse_udf_spec = parse_udf_spec
+
+
+def parse_corpus_spec(spec: str) -> Tuple[str, Tuple[str, ...]]:
+    """Split ``"count[car]@{a,b}"`` into ``(udf_spec, member_names)``.
+
+    Raises :class:`~repro.errors.ConfigurationError` (a
+    :class:`ValueError`) on anything outside the grammar: non-string
+    input, a malformed UDF half, missing or nested braces, empty
+    member lists, empty or ill-formed member names, and duplicate
+    members.
+    """
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"corpus spec must be a string, got {type(spec).__name__}")
+    match = _CORPUS_SPEC.match(spec)
+    if match is None:
+        raise ConfigurationError(
+            f"malformed corpus spec {spec!r}; expected "
+            f"'udf@{{member,member,...}}'")
+    udf_spec = match.group("udf")
+    parse_udf_spec(udf_spec)  # validates; raises ConfigurationError
+    raw = match.group("members")
+    members = raw.split(",") if raw else []
+    if not members:
+        raise ConfigurationError(
+            f"corpus spec {spec!r} names no members")
+    for member in members:
+        if not _MEMBER_NAME.match(member):
+            raise ConfigurationError(
+                f"invalid corpus member name {member!r} in {spec!r}; "
+                f"names must match [A-Za-z0-9_-]+")
+    if len(set(members)) != len(members):
+        raise ConfigurationError(
+            f"corpus spec {spec!r} repeats a member name")
+    return udf_spec, tuple(members)
+
+
+def format_corpus_spec(udf_spec: str, members) -> str:
+    """The canonical spec string for ``(udf_spec, members)``.
+
+    Inverse of :func:`parse_corpus_spec` for every valid pair; raises
+    :class:`~repro.errors.ConfigurationError` when the pair cannot
+    round-trip (malformed UDF half, bad member characters, duplicate
+    or empty member lists).
+    """
+    members = tuple(members)
+    spec = f"{udf_spec}@{{{','.join(members)}}}"
+    parsed_udf, parsed_members = parse_corpus_spec(spec)
+    if (parsed_udf, parsed_members) != (udf_spec, members):
+        raise ConfigurationError(
+            f"({udf_spec!r}, {members!r}) does not round-trip "
+            f"through {spec!r}")
+    return spec
+
+
+def resolve_corpus(
+    spec: str,
+    *,
+    config: Optional[EverestConfig] = None,
+    unit_costs=None,
+    name: Optional[str] = None,
+    **video_kwargs,
+):
+    """Build the :class:`~repro.corpus.corpus.VideoCorpus` a spec names.
+
+    ``"count[car]@{taipei-bus,archie-day2}"`` opens one member session
+    per named video (Table 7 datasets or registered families — extra
+    keyword arguments forward to every member build) sharing the
+    spec's UDF and the given configuration.
+    """
+    from ..corpus.corpus import VideoCorpus
+
+    udf_spec, members = parse_corpus_spec(spec)
+    return VideoCorpus.open(
+        list(members), udf_spec,
+        config=config, unit_costs=unit_costs, name=name, **video_kwargs)
+
+
+#: Alias matching :func:`open_session`'s naming.
+open_corpus = resolve_corpus
 
 
 def resolve_udf(spec: str) -> ScoringFunction:

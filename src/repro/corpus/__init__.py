@@ -1,0 +1,41 @@
+"""Federated multi-video top-k: corpora of shards, one global answer.
+
+A :class:`VideoCorpus` bundles N member videos — closed archives,
+slices of one archive, or live streams — behind one logical frame
+namespace, and :class:`FederatedTopK` answers top-k queries over the
+union: Phase 1 runs (or is adopted) independently per shard, a single
+merged uncertain relation over ``(shard offset + local frame)`` keys
+drives one global Phase-2 cleaning loop, and a federated oracle routes
+each confirmation batch to the owning shards while the global budget,
+ledger and report stay byte-identical to a plain single-video
+execution over the concatenated footage (DESIGN.md §9).
+
+    corpus = VideoCorpus.open(["taipei-bus", "archie-day2"], "count[car]")
+    outcome = corpus.query().topk(10).guarantee(0.9).run_detailed()
+    outcome.report.summary(); outcome.answer_members()
+"""
+
+from .corpus import CorpusMember, VideoCorpus
+from .query import CorpusQuery
+from .federated import (
+    CorpusOutcome,
+    FederatedOracle,
+    FederatedTopK,
+    InlineShardBackend,
+    PoolShardBackend,
+    merge_phase1_entries,
+)
+from .subscription import CorpusSubscription
+
+__all__ = [
+    "VideoCorpus",
+    "CorpusMember",
+    "CorpusQuery",
+    "CorpusOutcome",
+    "CorpusSubscription",
+    "FederatedTopK",
+    "FederatedOracle",
+    "InlineShardBackend",
+    "PoolShardBackend",
+    "merge_phase1_entries",
+]

@@ -1,0 +1,401 @@
+"""The corpus abstraction: N member videos behind one frame namespace.
+
+A :class:`VideoCorpus` owns one :class:`~repro.api.session.Session`
+per member (the unit of per-shard Phase-1 reuse — service-bound
+members lease their builds single-flight through
+:class:`~repro.service.artifacts.SharedArtifacts`, streaming members
+maintain theirs incrementally) plus the merged corpus-level state the
+federated engine executes against:
+
+* **Shard identity.** Members are ordered; member ``m`` owns the
+  global frame range ``[offset[m], offset[m] + len(m))`` where
+  ``offset`` is the cumulative length of the preceding members. All
+  cross-shard structures — the merged relation's tuple ids, ledger
+  merge order, error precedence — follow this one canonical order.
+* **Merged Phase-1 state.** Per plan configuration, the member
+  Phase-1 entries are merged into one corpus
+  :class:`~repro.api.session.Phase1Entry` (see
+  :func:`~repro.corpus.federated.merge_phase1_entries`) adopted by an
+  internal session over the :class:`~repro.video.views.ConcatVideo`.
+  The merge is cached and fingerprinted against the member entries, so
+  a streaming member's append transparently invalidates it.
+* **Split corpora.** :meth:`VideoCorpus.from_split` reshards an
+  existing single-video session into slice members that *adopt* the
+  archive's Phase-1 wholesale — no re-sampling, no re-training — which
+  is what makes a federated query over the shards byte-identical to
+  the unsplit query (the equivalence harness's strongest property).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.session import Phase1Entry, Session, build_phase1_entry, phase1_key
+from ..config import EverestConfig
+from ..errors import CorpusError, FrameIndexError
+from ..oracle.cost import CostModel
+from ..parallel.pool import resolve_workers
+from ..video.views import ConcatVideo, VideoSlice
+
+
+@dataclass
+class CorpusMember:
+    """One shard: a name plus the session owning its video and Phase 1."""
+
+    name: str
+    session: Session
+
+    @property
+    def video(self):
+        return self.session.video
+
+    @property
+    def streaming(self) -> bool:
+        """Streaming members maintain Phase 1 incrementally."""
+        return hasattr(self.session, "append")
+
+
+@dataclass
+class _MergedState:
+    """Corpus-level execution state for one ``phase1_key``."""
+
+    #: The merged corpus Phase-1 entry the internal session adopted.
+    entry: Phase1Entry
+    #: Per-shard Phase-1 ledgers, canonical member order (one entry —
+    #: the archive's — for split corpora).
+    phase1_costs: List[CostModel]
+    #: Internal session over the concat view, merged entry adopted.
+    session: Session
+    #: Member-entry identities + lengths the merge was computed from.
+    fingerprint: Tuple
+
+
+class VideoCorpus:
+    """An ordered set of member videos served as one top-k target."""
+
+    def __init__(
+        self,
+        sessions: Sequence[Session],
+        *,
+        name: Optional[str] = None,
+        member_names: Optional[Sequence[str]] = None,
+    ):
+        if not sessions:
+            raise CorpusError("a corpus needs at least one member")
+        if member_names is None:
+            member_names = [session.video.name for session in sessions]
+        if len(member_names) != len(sessions):
+            raise CorpusError(
+                f"{len(member_names)} member names for "
+                f"{len(sessions)} sessions")
+        if len(set(member_names)) != len(member_names):
+            raise CorpusError(
+                f"member names must be unique, got {list(member_names)}")
+        self.members: List[CorpusMember] = [
+            CorpusMember(name=str(n), session=s)
+            for n, s in zip(member_names, sessions)
+        ]
+        first = sessions[0]
+        for member in self.members[1:]:
+            if member.session.scoring.name != first.scoring.name:
+                raise CorpusError(
+                    f"corpus members must share one UDF; member "
+                    f"{member.name!r} uses "
+                    f"{member.session.scoring.name!r}, member "
+                    f"{self.members[0].name!r} uses "
+                    f"{first.scoring.name!r}")
+            if member.session.resolved_unit_costs() != \
+                    first.resolved_unit_costs():
+                raise CorpusError(
+                    f"corpus members must share one unit-cost map; "
+                    f"member {member.name!r} differs")
+        self.name = name if name is not None \
+            else "+".join(m.name for m in self.members)
+        self.scoring = first.scoring
+        self.config = first.config
+        #: Set by :meth:`from_split`: the archive session whose whole
+        #: Phase 1 every shard adopts instead of building its own.
+        self._split_source: Optional[Session] = None
+        self._merged_states: Dict[tuple, _MergedState] = {}
+        # Serializes merge builds: concurrent service submissions of
+        # the same corpus wait for one merge instead of redoing it
+        # (the per-member Phase-1 builds already go single-flight
+        # through the shared artifact layer when service-bound).
+        self._merge_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        videos: Sequence,
+        scoring,
+        *,
+        config: Optional[EverestConfig] = None,
+        unit_costs: Optional[Dict[str, float]] = None,
+        name: Optional[str] = None,
+        **video_kwargs,
+    ) -> "VideoCorpus":
+        """Open a corpus over videos (objects or registry names).
+
+        One session per member is opened with the shared ``scoring``
+        (object or ``"count[car]"``-style spec) and configuration;
+        ``video_kwargs`` are forwarded to every registry-name build.
+        """
+        from ..api.registry import resolve_udf
+
+        if isinstance(scoring, str):
+            scoring = resolve_udf(scoring)
+        sessions = [
+            Session.open(
+                video, scoring, config=config, unit_costs=unit_costs,
+                **(video_kwargs if isinstance(video, str) else {}))
+            for video in videos
+        ]
+        return cls(sessions, name=name)
+
+    @classmethod
+    def from_split(
+        cls,
+        session: Session,
+        boundaries: Sequence[int],
+        *,
+        name: Optional[str] = None,
+    ) -> "VideoCorpus":
+        """Reshard one archive session into a federated corpus.
+
+        ``boundaries`` are strictly increasing split points in
+        ``(0, len(video))``; the members are the slices between them.
+        Shards adopt the archive's Phase-1 artifacts wholesale (the
+        slice offsets coincide with the archive's frame ids), so
+        federated execution is byte-identical to querying the unsplit
+        session at the same global budget — no Phase-1 oracle call is
+        ever repeated.
+        """
+        total = len(session.video)
+        points = [int(b) for b in boundaries]
+        if points != sorted(points) or len(set(points)) != len(points):
+            raise CorpusError(
+                f"split boundaries must be strictly increasing, "
+                f"got {points}")
+        if points and not (0 < points[0] and points[-1] < total):
+            raise CorpusError(
+                f"split boundaries must lie in (0, {total}), got {points}")
+        edges = [0, *points, total]
+        slices = [
+            VideoSlice(session.video, start, stop)
+            for start, stop in zip(edges[:-1], edges[1:])
+        ]
+        members = [
+            Session(video, session.scoring, config=session.config,
+                    unit_costs=session._unit_costs)
+            for video in slices
+        ]
+        corpus = cls(
+            members,
+            name=name if name is not None else session.video.name,
+            member_names=[video.name for video in slices],
+        )
+        corpus._split_source = session
+        return corpus
+
+    # ------------------------------------------------------------------
+    # Shard identity
+    # ------------------------------------------------------------------
+    @property
+    def num_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def member_names(self) -> List[str]:
+        return [member.name for member in self.members]
+
+    @property
+    def total_frames(self) -> int:
+        return sum(len(member.video) for member in self.members)
+
+    def offsets(self) -> np.ndarray:
+        """Global frame id of each member's frame 0 (member order)."""
+        lengths = [len(member.video) for member in self.members]
+        return np.concatenate(([0], np.cumsum(lengths[:-1]))).astype(
+            np.int64)
+
+    def locate(self, global_id: int) -> Tuple[int, int]:
+        """``(member_index, local_frame)`` owning a global frame id."""
+        global_id = int(global_id)
+        if global_id < 0 or global_id >= self.total_frames:
+            raise FrameIndexError(global_id, self.total_frames)
+        offsets = self.offsets()
+        member = int(
+            np.searchsorted(offsets, global_id, side="right")) - 1
+        return member, global_id - int(offsets[member])
+
+    def member_of(self, global_id: int) -> Tuple[str, int]:
+        """``(member_name, local_frame)`` owning a global frame id."""
+        member, local = self.locate(global_id)
+        return self.members[member].name, local
+
+    def resolved_unit_costs(self) -> Dict[str, float]:
+        return self.members[0].session.resolved_unit_costs()
+
+    def scan_seconds(self) -> float:
+        """Simulated scan-and-test cost over the whole corpus."""
+        return sum(
+            member.session.scan_seconds() for member in self.members)
+
+    # ------------------------------------------------------------------
+    # Phase 1: per-shard builds and the merged corpus entry
+    # ------------------------------------------------------------------
+    def _member_entry(
+        self, member: CorpusMember, config: EverestConfig
+    ) -> Phase1Entry:
+        # Streaming sessions pin (phase1, diff, seed) themselves; their
+        # incremental entry is the shard's Phase 1 regardless of the
+        # corpus plan's Phase-2 knobs.
+        if member.streaming:
+            return member.session.phase1()
+        return member.session.phase1(config)
+
+    def prepare(
+        self,
+        config: Optional[EverestConfig] = None,
+        *,
+        workers: Optional[int] = None,
+    ) -> List[Phase1Entry]:
+        """Build (or fetch) every member's Phase-1 entry, in order.
+
+        ``workers > 1`` fans the missing *plain-session* builds across
+        a process pool — each worker runs one shard's sampling, CMDN
+        grid training and proxy inference, and the parent adopts the
+        (purely simulated, bit-identical) entries in canonical member
+        order, re-raising the earliest member's failure first. Members
+        that are streaming, service-bound, or already built are served
+        in-process. Split corpora adopt the archive's entry and build
+        nothing.
+        """
+        config = config if config is not None else self.config
+        workers = resolve_workers(workers)
+        if self._split_source is not None:
+            entry = self._split_source.phase1(config)
+            return [entry] * self.num_members
+
+        key = phase1_key(config)
+        buildable = [
+            member for member in self.members
+            if not member.streaming
+            and member.session.artifacts is None
+            and key not in member.session._phase1_cache
+        ]
+        if workers > 1 and len(buildable) > 1:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(buildable))) as pool:
+                futures = [
+                    pool.submit(
+                        build_phase1_entry,
+                        member.video,
+                        member.session.scoring,
+                        member.session._unit_costs,
+                        config,
+                    )
+                    for member in buildable
+                ]
+                # Canonical member order: the earliest shard's failure
+                # is the one the serial loop would hit first.
+                for future in futures:
+                    error = future.exception()
+                    if error is not None:
+                        raise error
+                for member, future in zip(buildable, futures):
+                    member.session.adopt_phase1(future.result(), config)
+        return [
+            self._member_entry(member, config) for member in self.members
+        ]
+
+    def _fingerprint(self, config: EverestConfig) -> Tuple:
+        if self._split_source is not None:
+            entry = self._split_source._phase1_cache.get(
+                phase1_key(config))
+            return (id(entry), self.total_frames)
+        key = phase1_key(config)
+        parts = []
+        for member in self.members:
+            if member.streaming:
+                entry = member.session._entry
+            else:
+                entry = member.session._phase1_cache.get(key)
+            parts.append((id(entry), len(member.video)))
+        return tuple(parts)
+
+    def merged_state(self, config: Optional[EverestConfig] = None,
+                     *, workers: Optional[int] = None) -> _MergedState:
+        """The corpus-level execution state for ``config`` (cached).
+
+        Builds member entries on demand (:meth:`prepare`), merges them
+        into one global relation / entry, and binds an internal session
+        over the concat view. The cache is fingerprinted against the
+        member entries and lengths, so a streaming member's append
+        rebuilds the merge while closed corpora pay it once.
+        """
+        config = config if config is not None else self.config
+        key = phase1_key(config)
+        with self._merge_lock:
+            return self._merged_state_locked(config, key, workers)
+
+    def _merged_state_locked(self, config, key, workers) -> _MergedState:
+        from .federated import merge_phase1_entries
+
+        cached = self._merged_states.get(key)
+        if cached is not None and \
+                cached.fingerprint == self._fingerprint(config):
+            return cached
+
+        entries = self.prepare(config, workers=workers)
+        if self._split_source is not None:
+            entry = entries[0]
+            phase1_costs = [entry.cost_model]
+        else:
+            entry = merge_phase1_entries(
+                entries,
+                self.offsets(),
+                floor=self.scoring.score_floor,
+                step=(config.phase1.quantization_step
+                      if config.phase1.quantization_step is not None
+                      else self.scoring.step),
+                truncate_sigmas=config.phase1.truncate_sigmas,
+            )
+            phase1_costs = [e.cost_model for e in entries]
+        concat = ConcatVideo(
+            [member.video for member in self.members], name=self.name)
+        session = Session(
+            concat, self.scoring, config=config,
+            unit_costs=self.members[0].session._unit_costs)
+        session.adopt_phase1(entry, config)
+        state = _MergedState(
+            entry=entry,
+            phase1_costs=phase1_costs,
+            session=session,
+            fingerprint=self._fingerprint(config),
+        )
+        self._merged_states[key] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self) -> "CorpusQuery":
+        """Start building a federated top-k query (fluent API)."""
+        from .query import CorpusQuery
+
+        return CorpusQuery(corpus=self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VideoCorpus({self.name!r}, members={self.member_names}, "
+            f"frames={self.total_frames})"
+        )

@@ -1,0 +1,618 @@
+"""The federated top-k engine: one global Phase 2 over many shards.
+
+The algorithmic insight is that the paper's Phase-2 machinery never
+cares where a tuple's frame physically lives: the uncertain relation,
+the CLT confidence state and the Eq-6 candidate selector are functions
+of (ids, pmfs) alone. Federation therefore reduces to
+
+1. **merging** per-shard Phase-1 artifacts into one global
+   :class:`~repro.core.uncertain.UncertainRelation` over namespaced
+   ``offset + local_frame`` ids — on one shared quantization grid, with
+   every shard's labelled frames inserted as certain tuples exactly as
+   a single-video build would (:func:`merge_phase1_entries`); and
+2. **routing** each cleaning batch's confirmations back to the owning
+   shards (:class:`FederatedOracle`). The global selector *is* the
+   greedy cross-shard budget allocator: every iteration it hands the
+   next batch to whichever shards own the frames with the highest
+   expected confidence gain (Equation 6 evaluated over the merged
+   relation), and the federated oracle enforces the global budget
+   before any shard is touched, so the spend — like the answer — is
+   identical to a single-video run over the concatenated footage.
+
+Determinism contract (certified by ``tests/test_corpus_equivalence``):
+under deterministic timing, the federated report and the canonical
+merged ledger are **byte-identical** to a plain
+:class:`~repro.api.executor.QueryExecutor` run over the
+:class:`~repro.video.views.ConcatVideo` with the same merged entry at
+the same global budget — for any shard count, shard-worker count, and
+scoring backend (inline threads or the service's process pool).
+Failures are deterministic too: per-shard budgets are checked in
+canonical member order *before* any charge from the offending batch
+lands, and pool-lane shard errors re-raise in canonical member order.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.executor import QueryExecutor
+from ..api.session import Phase1Entry
+from ..core.phase1 import Phase1Result
+from ..core.result import QueryReport
+from ..core.uncertain import (
+    QuantizationGrid,
+    UncertainRelation,
+    grid_for,
+    quantize_mixtures,
+)
+from ..errors import (
+    OracleBudgetExceededError,
+    QueryError,
+    ShardBudgetExceededError,
+)
+from ..oracle.base import Oracle
+from ..oracle.cost import CostModel, merge_cost_models
+from ..parallel.pool import resolve_workers, thread_map
+from ..video.diff import DiffResult
+
+# ----------------------------------------------------------------------
+# Phase-1 merging
+# ----------------------------------------------------------------------
+
+
+def merged_grid(
+    results: Sequence[Phase1Result],
+    *,
+    floor: float,
+    step: float,
+    truncate_sigmas: float,
+) -> QuantizationGrid:
+    """One quantization grid covering every shard's mixtures and labels.
+
+    Each member's grid is computed exactly as
+    :func:`~repro.core.uncertain.grid_for` would for a single-video
+    build; the shared grid takes the widest. ``ceil`` is monotone, so
+    the maximum of the per-member level counts equals the level count a
+    joint build over the concatenated mixtures would choose — which is
+    what keeps a corpus-of-one bit-identical to the plain build.
+    """
+    num_levels = 1
+    for result in results:
+        grid = grid_for(
+            result.mixtures,
+            floor=floor,
+            step=step,
+            extra_scores=list(result.known_scores.values()),
+            truncate_sigmas=truncate_sigmas,
+        )
+        num_levels = max(num_levels, grid.num_levels)
+    return QuantizationGrid(floor=floor, step=step, num_levels=num_levels)
+
+
+def merge_phase1_results(
+    results: Sequence[Phase1Result],
+    offsets: Sequence[int],
+    *,
+    floor: float,
+    step: float,
+    truncate_sigmas: float,
+) -> Phase1Result:
+    """Merge per-shard Phase-1 results into one global result.
+
+    Mirrors :func:`~repro.core.uncertain.build_relation` structurally:
+    retained-frame pmf rows first (member order — globally ascending
+    ids, since offsets are cumulative), then one point-mass row per
+    labelled-but-not-retained frame in ascending global order, then the
+    labelled frames marked certain in member insertion order. For a
+    single member this reproduces the plain build bit for bit.
+
+    ``proxy`` / ``grid_result`` / ``mixtures`` carry the *first*
+    member's artifacts (canonical; heterogeneous shards train distinct
+    proxies and no single model describes the union — the merged
+    relation is the cross-shard artifact). The merged result serves
+    frame-mode queries only.
+    """
+    grid = merged_grid(
+        results, floor=floor, step=step, truncate_sigmas=truncate_sigmas)
+
+    id_blocks: List[np.ndarray] = []
+    pmf_blocks: List[np.ndarray] = []
+    rep_blocks: List[np.ndarray] = []
+    known_global: Dict[int, float] = {}
+    retained_global: set = set()
+    total_frames = 0
+    for offset, result in zip(offsets, results):
+        offset = int(offset)
+        retained = result.diff_result.retained.astype(np.int64) + offset
+        id_blocks.append(retained)
+        retained_global.update(int(i) for i in retained)
+        pmf_blocks.append(
+            quantize_mixtures(
+                result.mixtures, grid, truncate_sigmas=truncate_sigmas))
+        rep_blocks.append(
+            result.diff_result.representative.astype(np.int64) + offset)
+        for frame, score in result.known_scores.items():
+            known_global[int(frame) + offset] = float(score)
+        total_frames += result.diff_result.num_frames
+
+    extra_ids = sorted(set(known_global) - retained_global)
+    full_ids = np.concatenate(
+        [*id_blocks, np.asarray(extra_ids, dtype=np.int64)])
+    extra_rows = np.zeros((len(extra_ids), grid.num_levels))
+    for row, frame in enumerate(extra_ids):
+        level = int(grid.level_of(known_global[frame]))
+        extra_rows[row, level] = 1.0
+    pmf = np.vstack([*pmf_blocks, extra_rows])
+
+    relation = UncertainRelation(full_ids, pmf, grid)
+    for frame, score in known_global.items():
+        position = relation.position(frame)
+        if not relation.certain[position]:
+            relation.mark_certain(position, score)
+        else:  # pragma: no cover - mirrors build_relation's guard
+            relation.exact_scores[position] = float(score)
+
+    diff = DiffResult(
+        retained=np.concatenate(id_blocks),
+        representative=np.concatenate(rep_blocks),
+        num_frames=total_frames,
+    )
+    first = results[0]
+    return Phase1Result(
+        relation=relation,
+        proxy=first.proxy,
+        grid_result=first.grid_result,
+        diff_result=diff,
+        known_scores=known_global,
+        mixtures=first.mixtures,
+    )
+
+
+def merge_phase1_entries(
+    entries: Sequence[Phase1Entry],
+    offsets: Sequence[int],
+    *,
+    floor: float,
+    step: float,
+    truncate_sigmas: float,
+) -> Phase1Entry:
+    """Merge per-shard entries: artifacts, call counts and ledgers.
+
+    The merged ledger folds the member ledgers key-wise in canonical
+    member order — the same association a later
+    ``merge_cost_models([*phase1_costs, phase2])`` produces, so the
+    corpus ``merged_cost`` is bit-identical to the reference ledger
+    built from this entry.
+    """
+    result = merge_phase1_results(
+        [entry.result for entry in entries],
+        offsets,
+        floor=floor,
+        step=step,
+        truncate_sigmas=truncate_sigmas,
+    )
+    return Phase1Entry(
+        result=result,
+        oracle_calls=sum(entry.oracle_calls for entry in entries),
+        cost_model=merge_cost_models(
+            [entry.cost_model for entry in entries]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard scoring backends
+# ----------------------------------------------------------------------
+
+
+class InlineShardBackend:
+    """Score shard sub-batches in-process (optionally on threads).
+
+    Jobs are ``(member_index, local_frame_ids)`` pairs in canonical
+    member order; results come back aligned. numpy releases the GIL in
+    the scoring kernels, so shards overlap under ``workers > 1``, and
+    :func:`~repro.parallel.pool.thread_map` consumes results in input
+    order — the earliest member's failure is the one that re-raises.
+    """
+
+    def __init__(self, videos: Sequence, scoring, *, workers: int = 1):
+        self.videos = list(videos)
+        self.scoring = scoring
+        self.workers = max(1, int(workers))
+
+    def score_many(
+        self, jobs: Sequence[Tuple[int, Sequence[int]]]
+    ) -> List[np.ndarray]:
+        def run(job: Tuple[int, Sequence[int]]) -> np.ndarray:
+            member, indices = job
+            video = self.videos[member]
+            frames = [video.frame(i) for i in indices]
+            return np.asarray(self.scoring(frames), dtype=np.float64)
+
+        return thread_map(run, list(jobs), workers=self.workers)
+
+
+@dataclass(frozen=True)
+class _ShardScoreTask:
+    """One shard sub-batch shipped to a pool worker."""
+
+    member_key: Tuple[int, int]
+    #: Pickled ``(video, scoring)`` — the same ``bytes`` object for
+    #: every task on the member, unpickled once per worker (memoized).
+    blob: bytes
+    indices: Tuple[int, ...]
+
+
+#: member_key -> (video, scoring), memoized per pool worker.
+_WORKER_MEMBERS: Dict[Tuple[int, int], Tuple[object, object]] = {}
+
+
+def _pool_score_member(task: _ShardScoreTask) -> np.ndarray:
+    """Score one shard sub-batch in a pool worker."""
+    memo = _WORKER_MEMBERS.get(task.member_key)
+    if memo is None:
+        memo = pickle.loads(task.blob)
+        _WORKER_MEMBERS[task.member_key] = memo
+    video, scoring = memo
+    frames = [video.frame(i) for i in task.indices]
+    return np.asarray(scoring(frames), dtype=np.float64)
+
+
+class PoolShardBackend:
+    """Ship shard sub-batches to a persistent process pool.
+
+    The service's process lane for corpus queries: each member's
+    ``(video, scoring)`` is pickled once and memoized per worker (the
+    :mod:`repro.service.backend` protocol), so steady-state batches
+    ship only frame ids. Futures are gathered in canonical member
+    order and the earliest member's exception re-raises first —
+    mirroring the sweep runner's grid-order discipline, so a crashed
+    shard worker fails the corpus query deterministically.
+    """
+
+    _uids = iter(range(1 << 62))
+
+    def __init__(self, pool, videos: Sequence, scoring):
+        self.pool = pool
+        self.videos = list(videos)
+        self.scoring = scoring
+        self._uid = next(self._uids)
+        self._blobs: List[Optional[bytes]] = [None] * len(self.videos)
+
+    def _blob(self, member: int) -> bytes:
+        blob = self._blobs[member]
+        if blob is None:
+            blob = pickle.dumps(
+                (self.videos[member], self.scoring),
+                protocol=pickle.HIGHEST_PROTOCOL)
+            self._blobs[member] = blob
+        return blob
+
+    def score_many(
+        self, jobs: Sequence[Tuple[int, Sequence[int]]]
+    ) -> List[np.ndarray]:
+        futures = [
+            self.pool.submit(
+                _pool_score_member,
+                _ShardScoreTask(
+                    member_key=(self._uid, member),
+                    blob=self._blob(member),
+                    indices=tuple(int(i) for i in indices),
+                ),
+            )
+            for member, indices in jobs
+        ]
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                raise error
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# The federated confirming oracle
+# ----------------------------------------------------------------------
+
+
+class FederatedOracle(Oracle):
+    """A confirming oracle that routes each batch to its shards.
+
+    Charging, call counting and *global* budget enforcement are
+    byte-identical to the plain :class:`~repro.oracle.base.Oracle`: the
+    global ledger receives one charge per batch and the budget check
+    precedes any work, so a federated report cannot differ from the
+    concatenated reference. On top of that it keeps per-shard
+    attribution — one :class:`~repro.oracle.cost.CostModel` view, call
+    counter and optional budget per member — and consults the members'
+    shared score caches (local frame ids) when the corpus is
+    service-bound.
+
+    Failure discipline: the global budget, then every shard budget in
+    canonical member order, are checked *before* the batch charges
+    anything — a failed allocation leaves every ledger (global and
+    per-shard) exactly as it was, so retries never double-charge.
+    """
+
+    def __init__(
+        self,
+        scoring,
+        cost_model: CostModel,
+        *,
+        videos: Sequence,
+        member_names: Sequence[str],
+        offsets: np.ndarray,
+        backend,
+        shard_costs: Sequence[CostModel],
+        caches: Sequence[Optional[object]],
+        budget: Optional[int] = None,
+        shard_budgets: Optional[Sequence[Optional[int]]] = None,
+        cost_key: str = "oracle_confirm",
+    ):
+        super().__init__(
+            scoring, cost_model, budget=budget, cost_key=cost_key)
+        self.videos = list(videos)
+        self.member_names = list(member_names)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.backend = backend
+        self.shard_costs = list(shard_costs)
+        self.caches = list(caches)
+        self.shard_budgets = list(
+            shard_budgets if shard_budgets is not None
+            else [None] * len(self.videos))
+        self.shard_calls = [0] * len(self.videos)
+        self.fresh_calls = 0
+
+    # ------------------------------------------------------------------
+    def locate(self, global_id: int) -> Tuple[int, int]:
+        member = int(np.searchsorted(
+            self.offsets, int(global_id), side="right")) - 1
+        return member, int(global_id) - int(self.offsets[member])
+
+    def score(self, video, indices: Sequence[int]) -> np.ndarray:
+        indices = [int(i) for i in indices]
+        if self.budget is not None and \
+                self.calls + len(indices) > self.budget:
+            raise OracleBudgetExceededError(self.budget)
+
+        # Group by owning member, preserving intra-batch positions.
+        groups: Dict[int, List[Tuple[int, int]]] = {}
+        for position, global_id in enumerate(indices):
+            member, local = self.locate(global_id)
+            groups.setdefault(member, []).append((position, local))
+        order = sorted(groups)
+
+        # Per-shard budgets, canonical member order, before any charge.
+        for member in order:
+            limit = self.shard_budgets[member]
+            if limit is not None and \
+                    self.shard_calls[member] + len(groups[member]) > limit:
+                raise ShardBudgetExceededError(
+                    limit, self.member_names[member])
+
+        self.calls += len(indices)
+        self.cost_model.charge(self.cost_key, len(indices))
+
+        # Resolve cached scores, then fan the misses out per shard.
+        known: Dict[int, Dict[int, float]] = {}
+        jobs: List[Tuple[int, List[int]]] = []
+        for member in order:
+            locals_ = [local for _, local in groups[member]]
+            cache = self.caches[member]
+            found = cache.lookup(locals_) if cache is not None else {}
+            seen: set = set()
+            missing = [
+                local for local in locals_
+                if local not in found
+                and not (local in seen or seen.add(local))
+            ]
+            known[member] = found
+            if missing:
+                jobs.append((member, missing))
+        fresh = self.backend.score_many(jobs) if jobs else []
+        for (member, missing), scores in zip(jobs, fresh):
+            cache = self.caches[member]
+            for local, score in zip(missing, scores):
+                score = float(score)
+                known[member][local] = score
+                if cache is not None:
+                    cache.put(local, score)
+            self.fresh_calls += len(missing)
+
+        # Per-shard attribution and the scatter back into batch order.
+        out = np.empty(len(indices), dtype=np.float64)
+        for member in order:
+            pairs = groups[member]
+            self.shard_calls[member] += len(pairs)
+            ledger = self.shard_costs[member]
+            ledger.charge(self.cost_key, len(pairs))
+            ledger.charge("decode", len(pairs))
+            for position, local in pairs:
+                out[position] = known[member][local]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CorpusOutcome:
+    """Everything one federated corpus query produced.
+
+    ``report`` is a standard :class:`~repro.core.result.QueryReport`
+    whose ``answer_ids`` are global (namespaced) frame ids —
+    byte-identical to the concatenated reference execution.
+    """
+
+    report: QueryReport
+    #: The global Phase-2 ledger behind the report.
+    phase2_cost: CostModel
+    #: Per-shard Phase-1 ledgers, canonical member order (a single
+    #: archive ledger for split corpora).
+    phase1_costs: List[CostModel]
+    #: Per-shard Phase-2 attribution views (confirm + decode charges).
+    shard_costs: List[CostModel]
+    #: Confirmations each shard served.
+    shard_confirms: List[int]
+    member_names: List[str]
+    offsets: List[int]
+    #: Physical (cache-miss) confirmations, when members share caches.
+    fresh_confirm_calls: Optional[int] = None
+
+    def merged_cost(self) -> CostModel:
+        """The canonical corpus ledger (DESIGN.md §9 merge order).
+
+        Per-shard Phase-1 ledgers fold in canonical member order, each
+        exactly once, then the global Phase-2 ledger — the association
+        the reference execution's ``[entry ledger, phase2]`` merge
+        produces, so the result is byte-comparable against it.
+        """
+        return merge_cost_models([*self.phase1_costs, self.phase2_cost])
+
+    def answer_members(self) -> List[Tuple[str, int]]:
+        """The answer as ``(member_name, local_frame)`` pairs."""
+        offsets = np.asarray(self.offsets, dtype=np.int64)
+        resolved = []
+        for global_id in self.report.answer_ids:
+            member = int(np.searchsorted(
+                offsets, int(global_id), side="right")) - 1
+            resolved.append(
+                (self.member_names[member],
+                 int(global_id) - int(offsets[member])))
+        return resolved
+
+    def allocation(self) -> Dict[str, int]:
+        """Oracle confirmations the selector allocated to each shard."""
+        return dict(zip(self.member_names, self.shard_confirms))
+
+
+class _FederatedExecutor(QueryExecutor):
+    """The plain executor with the confirming oracle swapped out.
+
+    Relation cloning, the cleaning loop, ledger assembly and report
+    construction are inherited verbatim — the corpus report *is* a
+    plain report over the merged relation. Only frame-mode plans are
+    accepted: window semantics across shard boundaries are undefined.
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        videos,
+        member_names,
+        offsets,
+        caches,
+        backend,
+        shard_budgets,
+    ):
+        super().__init__(session, workers=1)
+        self.score_cache = None  # members route their own caches
+        self._videos = videos
+        self._member_names = member_names
+        self._offsets = offsets
+        self._caches = caches
+        self._backend = backend
+        self._shard_budgets = shard_budgets
+
+    def execute_detailed(self, plan):
+        if plan.mode != "frames":
+            raise QueryError(
+                "corpus queries rank frames; window aggregation across "
+                "shard boundaries is undefined — query a member "
+                "session for windows")
+        return super().execute_detailed(plan)
+
+    def _confirm_oracle(self, plan, phase2_cost: CostModel) -> Oracle:
+        shard_costs = [
+            CostModel(
+                plan.unit_costs,
+                wall_clock=not plan.deterministic_timing)
+            for _ in self._videos
+        ]
+        return FederatedOracle(
+            self.session.scoring,
+            phase2_cost,
+            videos=self._videos,
+            member_names=self._member_names,
+            offsets=self._offsets,
+            backend=self._backend,
+            shard_costs=shard_costs,
+            caches=self._caches,
+            budget=plan.oracle_budget,
+            shard_budgets=self._shard_budgets,
+        )
+
+
+class FederatedTopK:
+    """Federated top-k over a :class:`~repro.corpus.corpus.VideoCorpus`.
+
+    ``shard_workers`` fans per-shard confirmation scoring across
+    threads (default: ``REPRO_WORKERS``, else serial); ``backend``
+    overrides the scoring transport entirely (the service passes a
+    :class:`PoolShardBackend` on its process lane). Neither can change
+    a report byte.
+    """
+
+    def __init__(
+        self,
+        corpus,
+        *,
+        shard_workers: Optional[int] = None,
+        backend=None,
+    ):
+        self.corpus = corpus
+        self.shard_workers = resolve_workers(shard_workers)
+        self.backend = backend
+
+    def execute(self, plan, *,
+                shard_budgets: Optional[Sequence[Optional[int]]] = None
+                ) -> QueryReport:
+        return self.execute_detailed(
+            plan, shard_budgets=shard_budgets).report
+
+    def execute_detailed(
+        self,
+        plan,
+        *,
+        shard_budgets: Optional[Sequence[Optional[int]]] = None,
+    ) -> CorpusOutcome:
+        """Run one compiled plan federated; returns the full outcome."""
+        corpus = self.corpus
+        state = corpus.merged_state(plan.config)
+        videos = [member.video for member in corpus.members]
+        backend = self.backend if self.backend is not None \
+            else InlineShardBackend(
+                videos, corpus.scoring, workers=self.shard_workers)
+        caches = [
+            getattr(member.session, "shared_score_cache", None)
+            for member in corpus.members
+        ]
+        executor = _FederatedExecutor(
+            state.session,
+            videos=videos,
+            member_names=corpus.member_names,
+            offsets=corpus.offsets(),
+            caches=caches,
+            backend=backend,
+            shard_budgets=shard_budgets,
+        )
+        detail = executor.execute_detailed(plan)
+        oracle = executor.last_confirm_oracle
+        assert isinstance(oracle, FederatedOracle)
+        return CorpusOutcome(
+            report=detail.report,
+            phase2_cost=detail.phase2_cost,
+            phase1_costs=list(state.phase1_costs),
+            shard_costs=list(oracle.shard_costs),
+            shard_confirms=list(oracle.shard_calls),
+            member_names=corpus.member_names,
+            offsets=[int(o) for o in corpus.offsets()],
+            fresh_confirm_calls=(
+                oracle.fresh_calls if any(
+                    cache is not None for cache in caches) else None),
+        )

@@ -1,0 +1,191 @@
+"""The fluent, immutable federated query builder.
+
+Mirrors :class:`~repro.api.query.Query` clause for clause (eager
+validation, copy-on-write) over a
+:class:`~repro.corpus.corpus.VideoCorpus` instead of one session, and
+compiles to the *same* :class:`~repro.api.plan.QueryPlan` type — the
+plan targets the corpus's concat view, which is what makes federated
+execution byte-comparable to a plain run of the compiled plan::
+
+    outcome = (corpus.query()
+               .topk(10).guarantee(0.9)
+               .oracle_budget(500)
+               .run_detailed())
+    outcome.allocation()     # confirms per shard
+    outcome.merged_cost()    # canonical corpus ledger
+
+``shard_budget`` adds per-member oracle caps on top of the global
+budget; ``subscribe`` maintains the answer live over streaming
+members. Window clauses are deliberately absent — window aggregation
+across shard boundaries is undefined.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..api.plan import QueryPlan
+from ..api.query import _UNSET
+from ..config import EverestConfig
+from ..errors import ConfigurationError, CorpusError, QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.result import QueryReport
+    from .corpus import VideoCorpus
+    from .federated import CorpusOutcome
+    from .subscription import CorpusSubscription
+
+
+@dataclass(frozen=True)
+class CorpusQuery:
+    """An immutable, partially built federated top-k query."""
+
+    corpus: "VideoCorpus" = field(repr=False, compare=False)
+    _k: int = 50
+    _thres: float = 0.9
+    _oracle_budget: object = _UNSET
+    _shard_budgets: Tuple[Tuple[str, int], ...] = ()
+    _config: Optional[EverestConfig] = None
+    _deterministic_timing: bool = False
+
+    # -- clauses -------------------------------------------------------
+    def topk(self, k: int) -> "CorpusQuery":
+        """Ask for the top-``k`` frames across every member."""
+        if not isinstance(k, numbers.Integral) or isinstance(k, bool) \
+                or k < 1:
+            raise QueryError(f"k must be a positive integer, got {k!r}")
+        return dataclasses.replace(self, _k=int(k))
+
+    def guarantee(self, thres: float) -> "CorpusQuery":
+        """Require the answer to be exact with probability >= ``thres``."""
+        if not 0.0 < thres <= 1.0:
+            raise QueryError(
+                f"guarantee threshold must be in (0, 1], got {thres!r}")
+        return dataclasses.replace(self, _thres=float(thres))
+
+    def oracle_budget(self, budget: Optional[int]) -> "CorpusQuery":
+        """Cap the *global* Phase-2 oracle spend (``None`` = unbounded)."""
+        if budget is not None:
+            if not isinstance(budget, numbers.Integral) \
+                    or isinstance(budget, bool) or budget < 1:
+                raise ConfigurationError(
+                    f"oracle_budget must be None or a positive integer, "
+                    f"got {budget!r}")
+            budget = int(budget)
+        return dataclasses.replace(self, _oracle_budget=budget)
+
+    def shard_budget(self, member: str, budget: int) -> "CorpusQuery":
+        """Cap one member's share of the oracle spend.
+
+        A shard hitting its cap mid-allocation fails the query with a
+        deterministic
+        :class:`~repro.errors.ShardBudgetExceededError` *before* any
+        charge from the offending batch lands.
+        """
+        if member not in self.corpus.member_names:
+            raise CorpusError(
+                f"unknown corpus member {member!r}; members: "
+                f"{', '.join(self.corpus.member_names)}")
+        if not isinstance(budget, numbers.Integral) \
+                or isinstance(budget, bool) or budget < 1:
+            raise ConfigurationError(
+                f"shard budget must be a positive integer, got {budget!r}")
+        budgets = tuple(
+            (name, cap) for name, cap in self._shard_budgets
+            if name != member
+        ) + ((member, int(budget)),)
+        return dataclasses.replace(self, _shard_budgets=budgets)
+
+    def with_config(self, config: EverestConfig) -> "CorpusQuery":
+        """Override the corpus configuration for this query only."""
+        if not isinstance(config, EverestConfig):
+            raise ConfigurationError(
+                f"with_config expects an EverestConfig, got {config!r}")
+        return dataclasses.replace(self, _config=config)
+
+    def deterministic_timing(self, enabled: bool = True) -> "CorpusQuery":
+        """Make the report a pure function of the plan and Phase 1."""
+        return dataclasses.replace(
+            self, _deterministic_timing=bool(enabled))
+
+    # -- compilation and execution -------------------------------------
+    def plan(self) -> QueryPlan:
+        """Compile to a plan over the corpus's concatenated namespace."""
+        corpus = self.corpus
+        config = self._config if self._config is not None \
+            else corpus.config
+        budget = (
+            config.phase2.oracle_budget
+            if self._oracle_budget is _UNSET else self._oracle_budget
+        )
+        return QueryPlan(
+            video_name=corpus.name,
+            udf_name=corpus.scoring.name,
+            num_frames=corpus.total_frames,
+            mode="frames",
+            k=self._k,
+            thres=self._thres,
+            window_size=None,
+            window_step=None,
+            oracle_budget=budget,
+            config=config,
+            unit_costs=corpus.resolved_unit_costs(),
+            deterministic_timing=self._deterministic_timing,
+        )
+
+    def explain(self) -> str:
+        """The compiled plan plus the shard map, rendered for humans."""
+        corpus = self.corpus
+        offsets = corpus.offsets()
+        shards = ", ".join(
+            f"{member.name}[{int(offset)}:"
+            f"{int(offset) + len(member.video)}]"
+            for member, offset in zip(corpus.members, offsets)
+        )
+        budgets = ", ".join(
+            f"{name}<={cap}" for name, cap in self._shard_budgets
+        ) or "none"
+        return "\n".join([
+            self.plan().explain(),
+            f"  shards   : {shards}",
+            f"  caps     : {budgets} (per-shard)",
+        ])
+
+    def _shard_budget_list(self):
+        caps = dict(self._shard_budgets)
+        return [caps.get(name) for name in self.corpus.member_names]
+
+    def run_detailed(
+        self,
+        *,
+        shard_workers: Optional[int] = None,
+        backend=None,
+    ) -> "CorpusOutcome":
+        """Compile and execute federated; returns the full outcome."""
+        from .federated import FederatedTopK
+
+        engine = FederatedTopK(
+            self.corpus, shard_workers=shard_workers, backend=backend)
+        return engine.execute_detailed(
+            self.plan(), shard_budgets=self._shard_budget_list())
+
+    def run(
+        self,
+        *,
+        shard_workers: Optional[int] = None,
+    ) -> "QueryReport":
+        """Compile and execute, returning the global query report."""
+        return self.run_detailed(shard_workers=shard_workers).report
+
+    def subscribe(self) -> "CorpusSubscription":
+        """Maintain this query live over the corpus's streaming members.
+
+        Requires at least one streaming member; every member append
+        refreshes the global federated answer (one report per append).
+        """
+        from .subscription import CorpusSubscription
+
+        return CorpusSubscription.attach(self)

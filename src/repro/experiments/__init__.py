@@ -18,6 +18,7 @@ from .runner import (
     run_everest,
 )
 from . import (
+    corpus_federated,
     fig4,
     fig5,
     fig6,
@@ -39,6 +40,7 @@ __all__ = [
     "format_table",
     "record_from_report",
     "run_everest",
+    "corpus_federated",
     "fig4",
     "fig5",
     "fig6",

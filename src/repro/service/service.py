@@ -85,6 +85,15 @@ class _StreamTask:
     session: object
 
 
+@dataclass(frozen=True)
+class _CorpusTask:
+    """Scheduler payload for one federated corpus query."""
+
+    query: object  # repro.corpus.query.CorpusQuery
+    tenant: str
+    seq: int
+
+
 class QueryService:
     """Accepts many concurrent queries and optimizes across them.
 
@@ -139,6 +148,8 @@ class QueryService:
         #: Frame ids already shipped to the pool per spec_id, so each
         #: batch carries only the score-cache delta.
         self._shipped_scores: Dict[int, set] = {}
+        #: Pool shard-scoring backends, one per submitted corpus.
+        self._corpus_backends: Dict[int, object] = {}
         self._closed = False
         self._scheduler = FairScheduler(
             self._run_batch,
@@ -279,6 +290,10 @@ class QueryService:
         after :meth:`close`.
         """
         self._check_open()
+        from ..corpus.query import CorpusQuery
+
+        if isinstance(query, CorpusQuery):
+            return self._submit_corpus(query, tenant=tenant)
         if isinstance(query, Query):
             if session is None:
                 session = query.session
@@ -308,6 +323,85 @@ class QueryService:
         batch_key = (id(session), phase1_key(plan.config))
         return self._scheduler.submit(
             task, tenant=tenant, batch_key=batch_key)
+
+    def _submit_corpus(self, query, *, tenant: str) -> QueryFuture:
+        """Queue one federated corpus query (DESIGN.md §9).
+
+        Member sessions are adopted into the shared artifact layer on
+        first submission, so per-shard Phase-1 builds go single-flight
+        through the store and shard confirmations hit each member's
+        group score cache. The federated Phase-2 loop itself runs on a
+        scheduler worker; shard confirmation scoring fans out on the
+        service's lane — pool workers when the process lane is up,
+        threads otherwise. The lane cannot change a report byte.
+        """
+        corpus = query.corpus
+        for member in corpus.members:
+            if not member.streaming and member.session.artifacts is None:
+                self.adopt_session(member.session)
+        if not query._deterministic_timing:
+            query = dataclasses.replace(query, _deterministic_timing=True)
+        task = _CorpusTask(
+            query=query, tenant=tenant, seq=next(self._submit_seq))
+        with self._lock:
+            self._sessions.setdefault(id(corpus), corpus)
+        return self._scheduler.submit(task, tenant=tenant, batch_key=None)
+
+    def _corpus_backend(self, corpus):
+        """The shard-scoring backend for this service's lane.
+
+        Streaming members pin the inline backend for the same reason
+        plain streaming submissions never ship to the pool: the pool
+        memoizes a pickled snapshot of each member's video per worker,
+        and a stream's watermark advances between appends — a worker
+        would score against a stale (shorter) copy while the inline
+        backend reads the live view.
+        """
+        if self._pool is None or \
+                any(member.streaming for member in corpus.members):
+            return None  # FederatedTopK builds its own thread backend
+        from ..corpus.federated import PoolShardBackend
+
+        with self._lock:
+            backend = self._corpus_backends.get(id(corpus))
+            if backend is None:
+                backend = PoolShardBackend(
+                    self._pool,
+                    [member.video for member in corpus.members],
+                    corpus.scoring,
+                )
+                self._corpus_backends[id(corpus)] = backend
+        return backend
+
+    def _run_corpus(self, task: "_CorpusTask") -> JobOutcome:
+        from ..corpus.federated import FederatedTopK
+
+        query = task.query
+        try:
+            engine = FederatedTopK(
+                query.corpus,
+                shard_workers=self.workers,
+                backend=self._corpus_backend(query.corpus),
+            )
+            outcome = engine.execute_detailed(
+                query.plan(),
+                shard_budgets=query._shard_budget_list(),
+            )
+        except BaseException as error:  # noqa: BLE001 - to the future
+            return JobOutcome(error=error)
+        record = QueryOutcome(
+            tenant=task.tenant,
+            report=outcome.report,
+            phase2_cost=outcome.phase2_cost,
+            fresh_confirm_calls=outcome.fresh_confirm_calls,
+            seq=task.seq,
+        )
+        with self._lock:
+            self._outcomes.append(record)
+        return JobOutcome(
+            value=outcome.report,
+            charge=outcome.phase2_cost.seconds("oracle_confirm"),
+        )
 
     def submit_many(
         self,
@@ -340,6 +434,9 @@ class QueryService:
             # Stream refreshes are submitted with batch_key=None, so
             # they arrive one per batch.
             return [self._run_stream(task) for task in payloads]
+        if isinstance(first, _CorpusTask):
+            # Corpus queries likewise arrive one per batch.
+            return [self._run_corpus(task) for task in payloads]
         return self._run_queries(list(payloads))
 
     def _run_stream(self, task: _StreamTask) -> JobOutcome:

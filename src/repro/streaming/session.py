@@ -283,6 +283,20 @@ class StreamingSession(Session):
         self._subscriptions.append(subscription)
         return subscription
 
+    def attach_subscription(self, subscription) -> None:
+        """Register an external live consumer refreshed on every append.
+
+        The object only needs the subscription protocol —
+        ``refresh(executor)`` returning a report and
+        ``trim(max_history)``. This is how corpus subscriptions
+        (DESIGN.md §9) ride the per-append refresh pass: a member's
+        append re-certifies the *federated* answer alongside the
+        member's own live queries, under the same error/bookkeeping
+        discipline (and through the service dispatcher when attached).
+        """
+        self._ensure_bootstrap()
+        self._subscriptions.append(subscription)
+
     @property
     def subscriptions(self) -> List[LiveTopK]:
         return list(self._subscriptions)

@@ -21,6 +21,7 @@ from .visual_road import visual_road_video, visual_road_suite
 from .diff import DifferenceDetector, DiffResult
 from .reader import VideoReader
 from .streaming import Segment, StreamingVideo
+from .views import ConcatVideo, VideoSlice
 
 __all__ = [
     "BoundingBox",
@@ -41,4 +42,6 @@ __all__ = [
     "VideoReader",
     "Segment",
     "StreamingVideo",
+    "ConcatVideo",
+    "VideoSlice",
 ]

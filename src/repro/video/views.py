@@ -1,0 +1,183 @@
+"""Frame-range and concatenation views over deterministic videos.
+
+Two read-only views back the corpus layer (DESIGN.md §9):
+
+* :class:`VideoSlice` exposes a contiguous ``[start, stop)`` range of a
+  parent video as a shard. Reads delegate straight to the parent, so
+  frame ``i`` of a slice is *the parent's* frame ``start + i`` — pixels,
+  ground truth, timestamp and all. That identity is what makes
+  splitting an archive into shards exactly neutral: a federated query
+  over the slices confirms the very frames the unsplit query would.
+* :class:`ConcatVideo` exposes an ordered sequence of member videos as
+  one logical video whose frame ``g`` is member ``m``'s frame
+  ``g - offset[m]``. It is the reference substrate the corpus
+  equivalence harness executes plain single-video queries against.
+
+Neither view renders anything itself and neither is appendable; a
+growing member is wrapped by :class:`~repro.video.streaming
+.StreamingVideo` *before* it joins a corpus, and the concat view reads
+its length dynamically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, FrameIndexError
+from .frame import BoundingBox, Frame
+
+
+class VideoSlice:
+    """A contiguous ``[start, stop)`` shard view over a parent video.
+
+    Frame ``i`` of the slice *is* the parent's frame ``start + i`` —
+    the returned :class:`~repro.video.frame.Frame` keeps the parent's
+    index and timestamp, so an oracle scoring through the slice sees
+    bit-identical inputs to one scoring the parent directly.
+    """
+
+    def __init__(self, parent, start: int, stop: int,
+                 *, name: Optional[str] = None):
+        start, stop = int(start), int(stop)
+        if not 0 <= start < stop <= len(parent):
+            raise ConfigurationError(
+                f"slice [{start}, {stop}) out of range for video "
+                f"{parent.name!r} with {len(parent)} frames")
+        self.parent = parent
+        self.start = start
+        self.stop = stop
+        self.name = name if name is not None \
+            else f"{parent.name}[{start}:{stop}]"
+        self.resolution = parent.resolution
+        self.fps = parent.fps
+        self.signal_key = getattr(parent, "signal_key", "signal")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def _check_index(self, index: int) -> int:
+        index = int(index)
+        if index < 0 or index >= len(self):
+            raise FrameIndexError(index, len(self))
+        return self.start + index
+
+    def pixels(self, index: int) -> np.ndarray:
+        return self.parent.pixels(self._check_index(index))
+
+    def batch_pixels(self, indices: Iterable[int]) -> np.ndarray:
+        return self.parent.batch_pixels(
+            [self._check_index(i) for i in indices])
+
+    def frame(self, index: int) -> Frame:
+        return self.parent.frame(self._check_index(index))
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frame(index)
+
+    def __iter__(self) -> Iterator[Frame]:
+        for i in range(len(self)):
+            yield self.frame(i)
+
+    def objects(self, index: int) -> List[BoundingBox]:
+        return self.parent.objects(self._check_index(index))
+
+    def truth_array(self, key: Optional[str] = None) -> np.ndarray:
+        return self.parent.truth_array(key)[self.start:self.stop]
+
+    @property
+    def duration_seconds(self) -> float:
+        return len(self) / self.fps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VideoSlice({self.parent.name!r}, "
+            f"[{self.start}:{self.stop}])"
+        )
+
+
+class ConcatVideo:
+    """Member videos exposed as one logical concatenation.
+
+    Global frame ``g`` belongs to the member ``m`` with the largest
+    offset ``<= g`` and maps to its local frame ``g - offset[m]``; reads
+    delegate to the member, so a plain oracle over the concat view
+    scores exactly the frames a federated per-shard oracle would. The
+    view reads member lengths on every access — a streaming member's
+    appends are visible immediately.
+    """
+
+    def __init__(self, members: Sequence, *, name: str):
+        if not members:
+            raise ConfigurationError("ConcatVideo needs >= 1 member")
+        self.members = list(members)
+        self.name = name
+        first = self.members[0]
+        for member in self.members[1:]:
+            if tuple(member.resolution) != tuple(first.resolution):
+                raise ConfigurationError(
+                    f"member {member.name!r} resolution "
+                    f"{member.resolution} differs from "
+                    f"{first.name!r} {first.resolution}")
+        self.resolution = first.resolution
+        self.fps = first.fps
+        self.signal_key = getattr(first, "signal_key", "signal")
+
+    # ------------------------------------------------------------------
+    def offsets(self) -> np.ndarray:
+        """Global id of each member's frame 0 (member order)."""
+        lengths = [len(member) for member in self.members]
+        return np.concatenate(([0], np.cumsum(lengths[:-1]))).astype(
+            np.int64)
+
+    def locate(self, index: int) -> Tuple[int, int]:
+        """``(member_index, local_frame)`` owning global frame ``index``."""
+        index = int(index)
+        if index < 0 or index >= len(self):
+            raise FrameIndexError(index, len(self))
+        offsets = self.offsets()
+        member = int(np.searchsorted(offsets, index, side="right")) - 1
+        return member, index - int(offsets[member])
+
+    def __len__(self) -> int:
+        return sum(len(member) for member in self.members)
+
+    def pixels(self, index: int) -> np.ndarray:
+        member, local = self.locate(index)
+        return self.members[member].pixels(local)
+
+    def batch_pixels(self, indices: Iterable[int]) -> np.ndarray:
+        frames = [self.pixels(i) for i in indices]
+        if not frames:
+            height, width = self.resolution
+            return np.zeros((0, height, width), dtype=np.float32)
+        return np.stack(frames).astype(np.float32)
+
+    def frame(self, index: int) -> Frame:
+        member, local = self.locate(index)
+        return self.members[member].frame(local)
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frame(index)
+
+    def __iter__(self) -> Iterator[Frame]:
+        for i in range(len(self)):
+            yield self.frame(i)
+
+    def objects(self, index: int) -> List[BoundingBox]:
+        member, local = self.locate(index)
+        return self.members[member].objects(local)
+
+    def truth_array(self, key: Optional[str] = None) -> np.ndarray:
+        return np.concatenate(
+            [member.truth_array(key) for member in self.members])
+
+    @property
+    def duration_seconds(self) -> float:
+        return sum(member.duration_seconds for member in self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = "+".join(member.name for member in self.members)
+        return f"ConcatVideo({names}, {len(self)} frames)"

@@ -1,0 +1,386 @@
+"""Equivalence certification for the federated corpus engine.
+
+The acceptance contract (mirroring ``test_parallel_equivalence.py`` /
+``test_service_differential.py``): under deterministic timing, a
+federated corpus execution — per-shard Phase 1, merged relation,
+cross-shard budget allocation, per-shard oracles and ledgers — is
+**byte-identical** (``QueryReport.to_json`` and the canonical merged
+``CostModel``) to the equivalent plain single-video execution at the
+same global budget:
+
+* a corpus of one member reproduces a plain ``Session`` run over that
+  member, report and ledger;
+* an archive split into N shards (``VideoCorpus.from_split``), queried
+  federated, reproduces the unsplit session queried whole — hypothesis
+  draws the split points, K, guarantee and global budget;
+* a multi-member corpus reproduces a plain executor run over the
+  ``ConcatVideo`` with the same merged Phase-1 entry;
+* service submission returns the same bytes as inline execution on
+  both lanes (threads and the process pool);
+* shard-worker count, scoring backend, and streaming refreshes cannot
+  change a byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import EverestConfig, QueryService, Session, VideoCorpus
+from repro.api.executor import QueryExecutor
+from repro.config import Phase1Config
+from repro.errors import OracleBudgetExceededError, QueryError
+from repro.oracle import counting_udf, merge_cost_models
+from repro.video import TrafficVideo
+from repro.video.views import ConcatVideo
+
+#: Small-but-real engine configuration so each example stays fast.
+CORPUS_CONFIG = EverestConfig(
+    phase1=Phase1Config(
+        sample_fraction=0.05,
+        min_train_samples=96,
+        holdout_samples=48,
+        cmdn_grid=((3, 12),),
+        epochs=15,
+    ),
+)
+
+ARCHIVE_FRAMES = 700
+
+
+def ledger_key(cost) -> dict:
+    """A ledger's full observable state (units and seconds per key)."""
+    return {
+        key: (cost.units(key), cost.seconds(key))
+        for key in sorted(
+            set(cost.breakdown()) | {"oracle_confirm", "oracle_label",
+                                     "decode", "cmdn_train"})
+    }
+
+
+@pytest.fixture(scope="module")
+def udf():
+    return counting_udf("car")
+
+
+@pytest.fixture(scope="module")
+def archive_session(udf):
+    """The unsplit reference archive (Phase 1 built once)."""
+    video = TrafficVideo("corpus-archive", ARCHIVE_FRAMES, seed=29)
+    session = Session(video, udf, config=CORPUS_CONFIG)
+    session.phase1()
+    return session
+
+
+@pytest.fixture(scope="module")
+def member_videos():
+    return [
+        TrafficVideo(f"corpus-cam{i}", 320, seed=40 + i) for i in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def member_corpus(member_videos, udf):
+    corpus = VideoCorpus.open(member_videos, udf, config=CORPUS_CONFIG)
+    corpus.prepare()
+    return corpus
+
+
+# ----------------------------------------------------------------------
+# (a) Corpus-of-one == plain Session, report and ledger.
+
+
+def test_corpus_of_one_matches_plain_session(udf):
+    video = TrafficVideo("corpus-solo", 420, seed=31)
+    plain = Session(video, udf, config=CORPUS_CONFIG)
+    plan = (plain.query().topk(4).guarantee(0.9)
+            .deterministic_timing().plan())
+    reference = QueryExecutor(plain).execute_detailed(plan)
+
+    corpus = VideoCorpus.open([video], udf, config=CORPUS_CONFIG)
+    outcome = (corpus.query().topk(4).guarantee(0.9)
+               .deterministic_timing().run_detailed())
+
+    assert outcome.report.to_json() == reference.report.to_json()
+    reference_merged = merge_cost_models(
+        [plain.phase1().cost_model, reference.phase2_cost])
+    assert ledger_key(outcome.merged_cost()) == \
+        ledger_key(reference_merged)
+    # The one shard served every confirmation.
+    assert outcome.allocation() == {
+        "corpus-solo": outcome.phase2_cost.units("oracle_confirm")}
+
+
+# ----------------------------------------------------------------------
+# (b) Split-vs-whole, hypothesis over split points, K, thres, budget.
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(data=st.data())
+def test_split_corpus_matches_unsplit_archive(data, archive_session):
+    boundaries = sorted(data.draw(st.sets(
+        st.integers(1, ARCHIVE_FRAMES - 1), min_size=1, max_size=4,
+    ), label="boundaries"))
+    k = data.draw(st.integers(2, 6), label="k")
+    thres = data.draw(
+        st.sampled_from([0.5, 0.8, 0.9, 0.95]), label="thres")
+    budget = data.draw(
+        st.one_of(st.none(), st.integers(5, 400)), label="budget")
+
+    plan = (archive_session.query().topk(k).guarantee(thres)
+            .oracle_budget(budget).deterministic_timing().plan())
+    corpus = VideoCorpus.from_split(archive_session, boundaries)
+    query = (corpus.query().topk(k).guarantee(thres)
+             .oracle_budget(budget).deterministic_timing())
+
+    try:
+        reference = QueryExecutor(archive_session).execute_detailed(plan)
+    except OracleBudgetExceededError as error:
+        # The federated run must fail identically: same type, same
+        # budget, before any divergent state.
+        with pytest.raises(OracleBudgetExceededError) as excinfo:
+            query.run_detailed()
+        assert excinfo.value.budget == error.budget
+        return
+
+    outcome = query.run_detailed()
+    assert outcome.report.to_json() == reference.report.to_json()
+    reference_merged = merge_cost_models(
+        [archive_session.phase1().cost_model, reference.phase2_cost])
+    assert ledger_key(outcome.merged_cost()) == \
+        ledger_key(reference_merged)
+    # Shard attribution is complete: per-shard confirms sum to the
+    # global ledger's confirm units.
+    assert sum(outcome.shard_confirms) == \
+        outcome.phase2_cost.units("oracle_confirm")
+    assert sum(
+        cost.units("oracle_confirm") for cost in outcome.shard_costs
+    ) == outcome.phase2_cost.units("oracle_confirm")
+
+
+# ----------------------------------------------------------------------
+# Multi-member corpus == plain executor over the concat view.
+
+
+def test_member_corpus_matches_concat_reference(
+        member_corpus, member_videos, udf):
+    query = (member_corpus.query().topk(5).guarantee(0.9)
+             .deterministic_timing())
+    outcome = query.run_detailed()
+
+    state = member_corpus.merged_state()
+    concat = ConcatVideo(member_videos, name=member_corpus.name)
+    reference_session = Session(concat, udf, config=CORPUS_CONFIG)
+    reference_session.adopt_phase1(state.entry, CORPUS_CONFIG)
+    reference = QueryExecutor(reference_session).execute_detailed(
+        query.plan())
+
+    assert outcome.report.to_json() == reference.report.to_json()
+    reference_merged = merge_cost_models(
+        [state.entry.cost_model, reference.phase2_cost])
+    assert ledger_key(outcome.merged_cost()) == \
+        ledger_key(reference_merged)
+    # Global ids resolve back into members, in-range and injectively.
+    resolved = outcome.answer_members()
+    assert len(resolved) == len(set(resolved)) == 5
+    lengths = dict(zip(
+        member_corpus.member_names,
+        (len(v) for v in member_videos)))
+    for name, local in resolved:
+        assert 0 <= local < lengths[name]
+
+
+@settings(max_examples=8, deadline=None, derandomize=True)
+@given(
+    k=st.integers(2, 6),
+    thres=st.sampled_from([0.5, 0.8, 0.9, 0.95]),
+)
+def test_member_corpus_matches_concat_reference_swept(
+        member_corpus, member_videos, udf, k, thres):
+    query = (member_corpus.query().topk(k).guarantee(thres)
+             .deterministic_timing())
+    outcome = query.run_detailed()
+
+    state = member_corpus.merged_state()
+    reference_session = Session(
+        ConcatVideo(member_videos, name=member_corpus.name),
+        udf, config=CORPUS_CONFIG)
+    reference_session.adopt_phase1(state.entry, CORPUS_CONFIG)
+    reference = QueryExecutor(reference_session).execute_detailed(
+        query.plan())
+    assert outcome.report.to_json() == reference.report.to_json()
+
+
+# ----------------------------------------------------------------------
+# Execution knobs cannot change a byte.
+
+
+def test_shard_workers_and_over_corpus_are_neutral(member_corpus):
+    base = (member_corpus.query().topk(4).guarantee(0.9)
+            .deterministic_timing())
+    serial = base.run_detailed(shard_workers=1)
+    threaded = base.run_detailed(shard_workers=3)
+    assert serial.report.to_json() == threaded.report.to_json()
+    assert ledger_key(serial.merged_cost()) == \
+        ledger_key(threaded.merged_cost())
+
+    # Query.over_corpus carries the same parameters across.
+    member = member_corpus.members[0].session
+    rebound = (member.query().topk(4).guarantee(0.9)
+               .deterministic_timing().over_corpus(member_corpus))
+    assert rebound.run().to_json() == serial.report.to_json()
+
+
+def test_pooled_prepare_matches_serial_build(member_videos, udf):
+    """Process-pool shard Phase-1 builds are bit-identical to serial.
+
+    The benchmark's speedup contract rests on this: entries are purely
+    simulated, so where a shard's CMDN trains cannot leak into the
+    merged relation, the report, or the ledgers.
+    """
+    serial = VideoCorpus.open(member_videos, udf, config=CORPUS_CONFIG)
+    serial.prepare(workers=1)
+    pooled = VideoCorpus.open(member_videos, udf, config=CORPUS_CONFIG)
+    pooled.prepare(workers=2)
+
+    query = lambda corpus: (corpus.query().topk(4).guarantee(0.9)  # noqa: E731
+                            .deterministic_timing().run_detailed())
+    serial_outcome = query(serial)
+    pooled_outcome = query(pooled)
+    assert pooled_outcome.report.to_json() == \
+        serial_outcome.report.to_json()
+    assert ledger_key(pooled_outcome.merged_cost()) == \
+        ledger_key(serial_outcome.merged_cost())
+    # A second prepare is a no-op: the entries are cached per member.
+    assert pooled.prepare(workers=2)[0] is pooled.prepare(workers=1)[0]
+
+
+def test_corpus_query_explain_names_shards(member_corpus):
+    text = (member_corpus.query().topk(4)
+            .shard_budget("corpus-cam1", 50).explain())
+    assert "shards" in text
+    assert "corpus-cam0[0:320]" in text
+    assert "corpus-cam1<=50" in text
+
+
+def test_window_queries_are_rejected(member_corpus):
+    member = member_corpus.members[0].session
+    with pytest.raises(QueryError):
+        member.query().windows(size=10).over_corpus(member_corpus)
+    with pytest.raises(QueryError):
+        from repro.corpus.federated import FederatedTopK
+
+        plan = (member.query().windows(size=10).topk(3)
+                .deterministic_timing().plan())
+        FederatedTopK(member_corpus).execute(plan)
+
+
+# ----------------------------------------------------------------------
+# (c) Service submission equals inline execution on both lanes.
+
+
+@pytest.mark.parametrize("use_processes", [False, True])
+def test_service_submitted_corpus_matches_inline(
+        member_videos, udf, use_processes):
+    inline_corpus = VideoCorpus.open(
+        member_videos, udf, config=CORPUS_CONFIG)
+    inline = (inline_corpus.query().topk(3).guarantee(0.9)
+              .deterministic_timing().run())
+
+    corpus = VideoCorpus.open(member_videos, udf, config=CORPUS_CONFIG)
+    try:
+        with QueryService(
+                workers=2, use_processes=use_processes) as service:
+            futures = [
+                service.submit(
+                    corpus.query().topk(3).guarantee(0.9),
+                    tenant=f"tenant-{i}")
+                for i in range(2)
+            ]
+            reports = service.gather(futures, timeout=240)
+            outcomes = service.outcomes()
+    finally:
+        for member in corpus.members:
+            member.session.bind_service(None, None)
+
+    for report in reports:
+        assert report.to_json() == inline.to_json()
+    assert len(outcomes) == 2
+    for outcome in outcomes:
+        assert outcome.report.to_json() == inline.to_json()
+
+
+# ----------------------------------------------------------------------
+# Streaming corpora: an append refreshes the global subscription.
+
+
+def test_streaming_member_append_refreshes_global_subscription(udf):
+    source = TrafficVideo("corpus-live", 640, seed=53)
+    stream = Session.open_stream(
+        source, udf, initial_frames=400, config=CORPUS_CONFIG)
+    closed = Session(
+        TrafficVideo("corpus-fixed", 260, seed=54), udf,
+        config=CORPUS_CONFIG)
+    corpus = VideoCorpus([stream, closed])
+
+    subscription = (corpus.query().topk(3).guarantee(0.85)
+                    .deterministic_timing().subscribe())
+    assert len(subscription) == 1
+    assert subscription.latest.num_frames == 400 + 260
+
+    result = stream.append(120)
+    # The member's append carried the refreshed federated report.
+    assert len(subscription) == 2
+    assert [r.to_json() for r in result.reports] == \
+        [subscription.latest.to_json()]
+    assert subscription.latest.num_frames == 520 + 260
+
+    # The refreshed answer is exactly what a fresh federated run over
+    # the advanced corpus produces.
+    fresh = (corpus.query().topk(3).guarantee(0.85)
+             .deterministic_timing().run())
+    assert fresh.to_json() == subscription.latest.to_json()
+
+    # And the live member's shard is the advanced prefix: the merged
+    # state was fingerprint-invalidated, not served stale.
+    assert corpus.total_frames == 520 + 260
+    assert subscription.latest_outcome.allocation().keys() == \
+        {"corpus-live", "corpus-fixed"}
+
+
+def test_subscribe_requires_a_streaming_member(member_corpus):
+    with pytest.raises(QueryError):
+        member_corpus.query().topk(3).subscribe()
+
+
+def test_streaming_member_corpus_never_ships_to_the_pool(udf):
+    """Process-lane submissions of a streaming-member corpus stay on
+    the inline backend: the pool memoizes pickled member videos per
+    worker, so a shipped stream would answer over a stale watermark
+    (and crash confirming appended frames). Mirrors the plain-query
+    streaming pin in ``QueryService._run_queries``."""
+    source = TrafficVideo("corpus-pool-live", 560, seed=57)
+    stream = Session.open_stream(
+        source, udf, initial_frames=360, config=CORPUS_CONFIG)
+    closed = Session(
+        TrafficVideo("corpus-pool-fixed", 240, seed=58), udf,
+        config=CORPUS_CONFIG)
+    corpus = VideoCorpus([stream, closed])
+    query = corpus.query().topk(3).guarantee(0.85).deterministic_timing()
+
+    try:
+        with QueryService(workers=2, use_processes=True) as service:
+            # The lane guard itself: no pool backend for this corpus.
+            assert service._corpus_backend(corpus) is None
+
+            first = service.submit(query).result(240)
+            stream.append(150)
+            second = service.submit(query).result(240)
+    finally:
+        closed.bind_service(None, None)
+
+    assert first.num_frames == 360 + 240
+    # The post-append submission answers over the live watermark —
+    # byte-identical to a fresh inline federated run.
+    assert second.num_frames == 510 + 240
+    assert second.to_json() == query.run().to_json()

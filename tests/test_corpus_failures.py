@@ -1,0 +1,297 @@
+"""Failure injection for the federated corpus engine.
+
+Mirrors the ``test_parallel_cost_ledger.py`` discipline: failures must
+be *deterministic* (same type, same payload, same canonical position
+regardless of shard-worker count or lane) and must leave the ledgers
+consistent (a failed allocation charges nothing, so a retry never
+double-counts).
+
+* A shard's oracle tripping its per-shard budget mid-allocation fails
+  the corpus query with :class:`~repro.errors.ShardBudgetExceededError`
+  naming the shard — checked in canonical member order *before* any
+  charge from the offending batch lands.
+* A global budget trips with the exact error (type and budget) the
+  plain concatenated execution raises.
+* A crashed process-lane shard worker re-raises in canonical member
+  order: when several shards fail in one batch, the parent surfaces
+  the lowest-indexed member's error, whichever future finished first.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import EverestConfig, Session, VideoCorpus
+from repro.config import Phase1Config
+from repro.corpus.federated import (
+    FederatedOracle,
+    InlineShardBackend,
+    PoolShardBackend,
+)
+from repro.errors import (
+    OracleBudgetExceededError,
+    ShardBudgetExceededError,
+)
+from repro.oracle import CostModel, counting_udf
+from repro.parallel.pool import PersistentPool, available_cpus
+from repro.video import TrafficVideo
+
+FAST = EverestConfig(
+    phase1=Phase1Config(
+        sample_fraction=0.05,
+        min_train_samples=96,
+        holdout_samples=48,
+        cmdn_grid=((3, 12),),
+        epochs=15,
+    ),
+)
+
+
+class ExplodingVideo(TrafficVideo):
+    """A member whose oracle reads always crash (picklable)."""
+
+    def frame(self, index):
+        raise RuntimeError(f"shard {self.name} exploded")
+
+
+@pytest.fixture(scope="module")
+def udf():
+    return counting_udf("car")
+
+
+@pytest.fixture(scope="module")
+def corpus(udf):
+    videos = [
+        TrafficVideo(f"fail-cam{i}", 300, seed=60 + i) for i in range(3)
+    ]
+    built = VideoCorpus.open(videos, udf, config=FAST)
+    built.prepare()
+    return built
+
+
+def make_oracle(udf, videos, *, backend=None, budget=None,
+                shard_budgets=None, caches=None):
+    """A standalone federated oracle over plain member videos."""
+    lengths = [len(v) for v in videos]
+    offsets = np.concatenate(([0], np.cumsum(lengths[:-1])))
+    return FederatedOracle(
+        udf,
+        CostModel(wall_clock=False),
+        videos=videos,
+        member_names=[v.name for v in videos],
+        offsets=offsets,
+        backend=backend if backend is not None
+        else InlineShardBackend(videos, udf),
+        shard_costs=[CostModel(wall_clock=False) for _ in videos],
+        caches=caches if caches is not None else [None] * len(videos),
+        budget=budget,
+        shard_budgets=shard_budgets,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-shard budgets: deterministic error, no charge from a failed batch.
+
+
+@pytest.mark.parametrize("shard_workers", [1, 2])
+def test_shard_budget_error_is_deterministic(corpus, shard_workers):
+    query = (
+        corpus.query().topk(3).guarantee(0.999)
+        .shard_budget("fail-cam2", 4).deterministic_timing()
+    )
+    with pytest.raises(ShardBudgetExceededError) as excinfo:
+        query.run_detailed(shard_workers=shard_workers)
+    assert excinfo.value.budget == 4
+    assert excinfo.value.member == "fail-cam2"
+    assert "fail-cam2" in str(excinfo.value)
+
+
+def test_shard_budget_precheck_charges_nothing(udf):
+    videos = [TrafficVideo(f"pre-{i}", 120, seed=70 + i) for i in range(2)]
+    oracle = make_oracle(udf, videos, shard_budgets=[None, 3])
+
+    # A healthy batch charges normally.
+    first = oracle.score(None, [0, 1, 120, 121])
+    assert first.shape == (4,)
+    assert oracle.calls == 4
+    assert oracle.cost_model.units("oracle_confirm") == 4
+    assert oracle.shard_calls == [2, 2]
+
+    # This batch would put shard 1 over its cap: it must fail before
+    # *any* ledger (global or shard) or counter moves — including the
+    # earlier, in-budget shard's.
+    with pytest.raises(ShardBudgetExceededError) as excinfo:
+        oracle.score(None, [2, 122, 123])
+    assert excinfo.value.member == "pre-1"
+    assert oracle.calls == 4
+    assert oracle.cost_model.units("oracle_confirm") == 4
+    assert oracle.shard_calls == [2, 2]
+    for cost in oracle.shard_costs:
+        assert cost.units("oracle_confirm") == 2
+        assert cost.units("decode") == 2
+
+    # The failure is retryable: a conforming batch still succeeds and
+    # the ledgers resume from exactly where they stopped.
+    again = oracle.score(None, [2, 122])
+    assert again.shape == (2,)
+    assert oracle.cost_model.units("oracle_confirm") == 6
+    assert oracle.shard_calls == [3, 3]
+
+
+def test_global_budget_matches_concatenated_reference(corpus, udf):
+    """The federated global budget trips exactly like the plain run."""
+    from repro.api.executor import QueryExecutor
+
+    query = (corpus.query().topk(3).guarantee(0.999)
+             .oracle_budget(6).deterministic_timing())
+    state = corpus.merged_state()
+    from repro.video.views import ConcatVideo
+
+    reference_session = Session(
+        ConcatVideo([m.video for m in corpus.members], name=corpus.name),
+        udf, config=FAST)
+    reference_session.adopt_phase1(state.entry, FAST)
+    with pytest.raises(OracleBudgetExceededError) as reference:
+        QueryExecutor(reference_session).execute_detailed(query.plan())
+    with pytest.raises(OracleBudgetExceededError) as federated:
+        query.run_detailed()
+    assert federated.value.budget == reference.value.budget == 6
+    assert type(federated.value) is type(reference.value)
+
+
+def test_shard_budget_error_pickles_intact():
+    error = ShardBudgetExceededError(7, "cam-x")
+    clone = pickle.loads(pickle.dumps(error))
+    assert isinstance(clone, ShardBudgetExceededError)
+    assert isinstance(clone, OracleBudgetExceededError)
+    assert (clone.budget, clone.member) == (7, "cam-x")
+    assert "cam-x" in str(clone)
+
+
+# ----------------------------------------------------------------------
+# Construction-time validation: malformed corpora fail eagerly.
+
+
+class TestCorpusValidation:
+    def test_empty_corpus_rejected(self):
+        from repro.errors import CorpusError
+
+        with pytest.raises(CorpusError):
+            VideoCorpus([])
+
+    def test_mismatched_udfs_rejected(self, udf):
+        from repro.errors import CorpusError
+        from repro.oracle.sentiment import sentiment_udf
+
+        a = Session(TrafficVideo("val-a", 60, seed=1), udf, config=FAST)
+        b = Session(
+            TrafficVideo("val-b", 60, seed=2), sentiment_udf(),
+            config=FAST)
+        with pytest.raises(CorpusError):
+            VideoCorpus([a, b])
+
+    def test_duplicate_member_names_rejected(self, udf):
+        from repro.errors import CorpusError
+
+        video = TrafficVideo("val-dup", 60, seed=3)
+        sessions = [
+            Session(video, udf, config=FAST),
+            Session(TrafficVideo("val-dup", 60, seed=4), udf,
+                    config=FAST),
+        ]
+        with pytest.raises(CorpusError):
+            VideoCorpus(sessions)
+
+    def test_bad_split_boundaries_rejected(self, udf):
+        from repro.errors import CorpusError
+
+        session = Session(
+            TrafficVideo("val-split", 100, seed=5), udf, config=FAST)
+        for bad in ([0], [100], [60, 30], [30, 30]):
+            with pytest.raises(CorpusError):
+                VideoCorpus.from_split(session, bad)
+
+    def test_locate_and_shard_arithmetic(self, corpus):
+        from repro.errors import FrameIndexError
+
+        assert corpus.total_frames == 900
+        assert list(corpus.offsets()) == [0, 300, 600]
+        assert corpus.locate(0) == (0, 0)
+        assert corpus.locate(299) == (0, 299)
+        assert corpus.locate(300) == (1, 0)
+        assert corpus.member_of(899) == ("fail-cam2", 299)
+        with pytest.raises(FrameIndexError):
+            corpus.locate(900)
+        with pytest.raises(FrameIndexError):
+            corpus.locate(-1)
+
+    def test_scan_seconds_covers_the_fleet(self, corpus):
+        costs = corpus.resolved_unit_costs()
+        per_frame = costs["oracle_infer"] + costs["decode"]
+        assert corpus.scan_seconds() == pytest.approx(900 * per_frame)
+
+    def test_shard_budget_clauses_validate(self, corpus):
+        from repro.errors import CorpusError
+
+        with pytest.raises(CorpusError):
+            corpus.query().shard_budget("nonexistent", 5)
+        with pytest.raises(ValueError):
+            corpus.query().shard_budget("fail-cam0", 0)
+        with pytest.raises(ValueError):
+            corpus.query().with_config("not-a-config")
+
+
+# ----------------------------------------------------------------------
+# Process-lane shard workers: canonical-order error surfacing.
+
+
+def test_pool_lane_reraises_in_canonical_shard_order(udf):
+    videos = [
+        TrafficVideo("pool-ok", 100, seed=80),
+        ExplodingVideo("pool-boom-a", 100, seed=81),
+        ExplodingVideo("pool-boom-b", 100, seed=82),
+    ]
+    with PersistentPool(workers=min(2, available_cpus())) as pool:
+        backend = PoolShardBackend(pool, videos, udf)
+        oracle = make_oracle(udf, videos, backend=backend)
+        # One batch spanning all three shards: both exploding members
+        # fail in their workers; the parent must surface the *first*
+        # member's error (canonical order), not whichever future
+        # happened to finish first.
+        with pytest.raises(RuntimeError) as excinfo:
+            oracle.score(None, [5, 105, 205])
+        assert "pool-boom-a" in str(excinfo.value)
+
+        # The healthy shard scores through the pool bit-identically to
+        # an inline backend.
+        pooled = oracle.score(None, [5, 6, 7])
+        inline = make_oracle(udf, videos).score(None, [5, 6, 7])
+        np.testing.assert_array_equal(pooled, inline)
+
+
+def test_pooled_prepare_reraises_in_canonical_member_order(udf):
+    videos = [
+        ExplodingVideo("prep-boom-a", 80, seed=90),
+        ExplodingVideo("prep-boom-b", 80, seed=91),
+    ]
+    corpus = VideoCorpus.open(videos, udf, config=FAST)
+    with pytest.raises(RuntimeError) as excinfo:
+        corpus.prepare(workers=2)
+    assert "prep-boom-a" in str(excinfo.value)
+
+
+def test_inline_lane_reraises_in_canonical_shard_order(udf):
+    videos = [
+        ExplodingVideo("inline-boom-a", 100, seed=83),
+        ExplodingVideo("inline-boom-b", 100, seed=84),
+    ]
+    for workers in (1, 2):
+        oracle = make_oracle(
+            udf, videos,
+            backend=InlineShardBackend(videos, udf, workers=workers))
+        with pytest.raises(RuntimeError) as excinfo:
+            oracle.score(None, [150, 50])
+        assert "inline-boom-a" in str(excinfo.value), f"workers={workers}"

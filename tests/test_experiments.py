@@ -5,6 +5,7 @@ import pytest
 
 from repro.experiments import (
     ExperimentScale,
+    corpus_federated,
     fig4,
     fig5,
     fig8,
@@ -119,3 +120,18 @@ class TestExperimentsSmoke:
             m.live_fresh_calls < m.batch_calls for m in measurements)
         output = streaming_latency.render(measurements)
         assert "live-fresh-calls" in output and "totals:" in output
+
+    def test_corpus_federated(self, quick):
+        videos = [
+            v for v in counting_videos(quick)[:2]
+        ]
+        measurement = corpus_federated.run(
+            quick, k=3, thres=0.8, videos=videos)
+        assert len(measurement.members) == 2
+        assert measurement.total_frames == sum(len(v) for v in videos)
+        # Confirms attribute completely and the answer is K frames.
+        assert sum(s.answers for s in measurement.members) == 3
+        assert all(s.confirms >= 0 for s in measurement.members)
+        assert measurement.confidence >= 0.8
+        output = corpus_federated.render(measurement)
+        assert "Federated top-3" in output and "confirms" in output

@@ -23,7 +23,7 @@ import pathlib
 
 import pytest
 
-from repro import EverestConfig, ParallelRunner, Session
+from repro import EverestConfig, ParallelRunner, Session, VideoCorpus
 from repro.core.result import QueryReport
 from repro.oracle import counting_udf
 from repro.oracle.depth import tailgating_udf
@@ -35,6 +35,10 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "data"
 #: sweep), fig7-style (window-size sweep) and fig9-style (depth-UDF
 #: scenarios), all deterministic by construction.
 SWEEPS = ("fig5_quick", "fig6_quick", "fig7_quick", "fig9_quick")
+
+#: Every recorded fixture, including the 3-shard federated corpus
+#: sweep (which runs through its own engine, not ParallelRunner).
+ALL_FIXTURES = SWEEPS + ("corpus_quick",)
 
 
 def _dump(reports) -> str:
@@ -104,7 +108,7 @@ def test_pooled_sweeps_match_golden_fixtures(golden_plans, workers):
         assert _dump(pooled) == fixture, f"{name} workers={workers}"
 
 
-@pytest.mark.parametrize("name", SWEEPS)
+@pytest.mark.parametrize("name", ALL_FIXTURES)
 def test_from_json_round_trips_byte_for_byte(name):
     payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
     assert payload, "fixture must contain reports"
@@ -119,12 +123,73 @@ def test_from_json_round_trips_byte_for_byte(name):
 
 
 def test_golden_reports_answer_their_queries():
-    for name in SWEEPS:
+    for name in ALL_FIXTURES:
         payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
         for entry in payload:
             report = QueryReport.from_dict(entry)
             assert report.confidence >= report.thres
             assert len(report.answer_ids) == report.k
+
+
+# ----------------------------------------------------------------------
+# The 3-shard federated corpus sweep (DESIGN.md §9).
+
+
+@pytest.fixture(scope="module")
+def golden_corpus():
+    videos = [
+        TrafficVideo(f"golden-shard{i}", 300, seed=21 + i)
+        for i in range(3)
+    ]
+    corpus = VideoCorpus.open(
+        videos, counting_udf("car"), config=EverestConfig.fast())
+    return corpus, videos
+
+
+def _corpus_queries(corpus):
+    base = corpus.query().guarantee(0.9).deterministic_timing()
+    return [
+        base.topk(3),
+        base.topk(5),
+        base.topk(3).guarantee(0.99),
+        base.topk(4).oracle_budget(400),
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus_reports(golden_corpus):
+    corpus, _ = golden_corpus
+    reports = [query.run() for query in _corpus_queries(corpus)]
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        (GOLDEN_DIR / "corpus_quick.json").write_text(_dump(reports))
+    return reports
+
+
+def test_federated_corpus_matches_golden_fixture(corpus_reports):
+    fixture = (GOLDEN_DIR / "corpus_quick.json").read_text()
+    assert _dump(corpus_reports) == fixture
+
+
+def test_corpus_golden_equals_concatenated_reference(golden_corpus):
+    """The recorded federated bytes double as an equivalence pin: a
+    plain executor over the concat view with the merged entry lands on
+    the same fixture."""
+    from repro.api.executor import QueryExecutor
+    from repro.video.views import ConcatVideo
+
+    corpus, videos = golden_corpus
+    state = corpus.merged_state()
+    session = Session(
+        ConcatVideo(videos, name=corpus.name),
+        counting_udf("car"), config=EverestConfig.fast())
+    session.adopt_phase1(state.entry, EverestConfig.fast())
+    executor = QueryExecutor(session)
+    reports = [
+        executor.execute(query.plan()) for query in _corpus_queries(corpus)
+    ]
+    fixture = (GOLDEN_DIR / "corpus_quick.json").read_text()
+    assert _dump(reports) == fixture
 
 
 def test_query_service_reproduces_golden_fixtures(golden_plans):

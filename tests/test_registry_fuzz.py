@@ -19,9 +19,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.api.registry import (
+    format_corpus_spec,
     format_udf_spec,
     list_udfs,
+    parse_corpus_spec,
     parse_udf_spec,
+    resolve_corpus,
     resolve_udf,
     resolve_video,
 )
@@ -134,6 +137,90 @@ def test_format_rejects_unroundtrippable_pairs():
         format_udf_spec("count", "a]b")
     with pytest.raises(ConfigurationError):
         format_udf_spec("", "car")
+
+
+# ----------------------------------------------------------------------
+# Corpus spec grammar: ``udf@{member,member,...}`` (DESIGN.md §9).
+
+member_lists = st.lists(
+    valid_names, min_size=1, max_size=4, unique=True)
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(name=valid_names, arg=st.one_of(st.none(), valid_args),
+       members=member_lists)
+def test_corpus_format_then_parse_round_trips(name, arg, members):
+    udf_spec = format_udf_spec(name, arg)
+    spec = format_corpus_spec(udf_spec, members)
+    assert parse_corpus_spec(spec) == (udf_spec, tuple(members))
+    # Formatting is idempotent through a second cycle.
+    assert format_corpus_spec(*parse_corpus_spec(spec)) == spec
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(spec=st.text(max_size=60))
+def test_corpus_parse_then_format_is_identity_on_valid_specs(spec):
+    try:
+        udf_spec, members = parse_corpus_spec(spec)
+    except ConfigurationError as error:
+        assert isinstance(error, ValueError)
+        assert str(error)
+        return
+    assert format_corpus_spec(udf_spec, members) == spec
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(
+    udf=st.text(max_size=20),
+    raw_members=st.lists(st.text(max_size=10), max_size=4),
+)
+def test_corpus_structured_specs_raise_clean_valueerror(udf, raw_members):
+    spec = f"{udf}@{{{','.join(raw_members)}}}"
+    try:
+        parsed = parse_corpus_spec(spec)
+    except ConfigurationError as error:
+        assert isinstance(error, ValueError)
+    else:
+        assert parsed[0]
+        assert len(parsed[1]) >= 1
+
+
+@pytest.mark.parametrize("spec", [
+    "", "@{a}", "count@", "count@{}", "count@{a,}", "count@{,a}",
+    "count@{a,,b}", "count@{a b}", "count@{a}{b}", "count@{a",
+    "count@a}", "count{a}", "count@{a}x", "count@{{a}}",
+    "count[car]@{a,a}", "count[]@{a}", "count@@{a}", "c@unt@{a}",
+])
+def test_malformed_corpus_specs_raise(spec):
+    with pytest.raises(ConfigurationError):
+        parse_corpus_spec(spec)
+
+
+@pytest.mark.parametrize("bad", [None, 7, ["count@{a}"]])
+def test_non_string_corpus_specs_raise_clean_valueerror(bad):
+    with pytest.raises(ValueError):
+        parse_corpus_spec(bad)
+
+
+def test_corpus_format_rejects_unroundtrippable_pairs():
+    with pytest.raises(ConfigurationError):
+        format_corpus_spec("count", [])
+    with pytest.raises(ConfigurationError):
+        format_corpus_spec("count", ["a", "a"])
+    with pytest.raises(ConfigurationError):
+        format_corpus_spec("count", ["a,b"])
+    with pytest.raises(ConfigurationError):
+        format_corpus_spec("co unt", ["a"])
+
+
+def test_resolve_corpus_builds_member_sessions():
+    corpus = resolve_corpus(
+        "count[car]@{traffic,vlog}", num_frames=64)
+    assert corpus.member_names == ["traffic", "vlog"]
+    assert corpus.total_frames == 128
+    assert corpus.scoring.name == "count[car]"
+    with pytest.raises(ValueError):
+        resolve_corpus("count[car]@{definitely-not-registered}")
 
 
 # ----------------------------------------------------------------------
