@@ -15,6 +15,7 @@ without touching the callers.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import EverestConfig
@@ -130,6 +131,9 @@ _parse_udf_spec = parse_udf_spec
 def parse_corpus_spec(spec: str) -> Tuple[str, Tuple[str, ...]]:
     """Split ``"count[car]@{a,b}"`` into ``(udf_spec, member_names)``.
 
+    Whitespace around member names (``"count[car]@{a, b}"``) is
+    tolerated and normalized away — hand-typed wire requests get to
+    breathe — but whitespace *inside* a name is still malformed.
     Raises :class:`~repro.errors.ConfigurationError` (a
     :class:`ValueError`) on anything outside the grammar: non-string
     input, a malformed UDF half, missing or nested braces, empty
@@ -147,7 +151,10 @@ def parse_corpus_spec(spec: str) -> Tuple[str, Tuple[str, ...]]:
     udf_spec = match.group("udf")
     parse_udf_spec(udf_spec)  # validates; raises ConfigurationError
     raw = match.group("members")
-    members = raw.split(",") if raw else []
+    # Whitespace around commas/braces is wire-format noise
+    # (``count[car]@{a, b}``); strip it per member. Whitespace *inside*
+    # a name still fails the member grammar below.
+    members = [m.strip() for m in raw.split(",")] if raw.strip() else []
     if not members:
         raise ConfigurationError(
             f"corpus spec {spec!r} names no members")
@@ -178,6 +185,110 @@ def format_corpus_spec(udf_spec: str, members) -> str:
             f"({udf_spec!r}, {members!r}) does not round-trip "
             f"through {spec!r}")
     return spec
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A parsed wire-format query target (DESIGN.md §10).
+
+    The gateway's one-string addressing scheme: either the session
+    form ``"count[car]/taipei-bus"`` (UDF spec + video name) or the
+    corpus form ``"count[car]@{a,b}"`` (UDF spec + member list).
+    Exactly one of ``video`` / ``members`` is set.
+    """
+
+    udf: str
+    video: Optional[str] = None
+    members: Tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "corpus" if self.members else "video"
+
+    def canonical(self) -> str:
+        """The canonical wire string (see :func:`format_query_spec`)."""
+        if self.members:
+            return format_corpus_spec(self.udf, self.members)
+        spec = f"{self.udf}/{self.video}"
+        parsed = parse_query_spec(spec)
+        if parsed != self:
+            raise ConfigurationError(
+                f"({self.udf!r}, {self.video!r}) does not round-trip "
+                f"through {spec!r}")
+        return spec
+
+
+def parse_query_spec(spec: str) -> QuerySpec:
+    """Parse a wire query spec into its :class:`QuerySpec`.
+
+    ``"count[car]/taipei-bus"`` names one video (the half after the
+    *last* slash — UDF bracket arguments may themselves contain
+    slashes); ``"count[car]@{a,b}"`` names a corpus (whitespace inside
+    the member list is normalized away). Raises
+    :class:`~repro.errors.ConfigurationError` (a :class:`ValueError`)
+    on anything outside either grammar.
+    """
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"query spec must be a string, got {type(spec).__name__}")
+    if _CORPUS_SPEC.match(spec):
+        udf_spec, members = parse_corpus_spec(spec)
+        return QuerySpec(udf=udf_spec, members=members)
+    if "/" in spec:
+        udf_spec, video = spec.rsplit("/", 1)
+        parse_udf_spec(udf_spec)  # validates; raises ConfigurationError
+        if not _MEMBER_NAME.match(video):
+            raise ConfigurationError(
+                f"invalid video name {video!r} in query spec {spec!r}; "
+                f"names must match [A-Za-z0-9_-]+")
+        return QuerySpec(udf=udf_spec, video=video)
+    raise ConfigurationError(
+        f"malformed query spec {spec!r}; expected 'udf/video' or "
+        f"'udf@{{member,member,...}}'")
+
+
+def format_query_spec(
+    udf_spec: str,
+    *,
+    video: Optional[str] = None,
+    members=None,
+) -> str:
+    """The canonical wire string for a UDF plus one target.
+
+    Inverse of :func:`parse_query_spec` for every valid combination;
+    raises :class:`~repro.errors.ConfigurationError` when the parts
+    cannot round-trip (both or neither target, bad names).
+    """
+    if (video is None) == (members is None):
+        raise ConfigurationError(
+            "format_query_spec needs exactly one of video= / members=")
+    if members is not None:
+        return format_corpus_spec(udf_spec, members)
+    return QuerySpec(udf=udf_spec, video=video).canonical()
+
+
+def resolve_query_spec(
+    spec: str,
+    *,
+    config: Optional[EverestConfig] = None,
+    unit_costs=None,
+    **video_kwargs,
+):
+    """Build what a wire query spec names: a session or a corpus.
+
+    The gateway's resolution path: ``"count[car]/traffic"`` opens (or
+    the caller caches) a :class:`Session`, ``"count[car]@{a,b}"`` a
+    :class:`~repro.corpus.corpus.VideoCorpus`. Extra keyword arguments
+    forward to the video builder(s).
+    """
+    parsed = parse_query_spec(spec)
+    if parsed.kind == "corpus":
+        return resolve_corpus(
+            parsed.canonical(), config=config, unit_costs=unit_costs,
+            **video_kwargs)
+    return Session.open(
+        parsed.video, parsed.udf,
+        config=config, unit_costs=unit_costs, **video_kwargs)
 
 
 def resolve_corpus(

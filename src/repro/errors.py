@@ -115,13 +115,62 @@ class ServiceError(ReproError):
 class AdmissionError(ServiceError):
     """The service refused a submission (admission control).
 
-    Raised when the pending-query queue is at ``max_pending``; callers
-    should back off and resubmit rather than queue without bound.
+    Raised when the pending-query queue is at ``max_pending`` — or, in
+    subclasses, when a gateway quota trips; callers should back off
+    and resubmit rather than queue without bound. ``reason`` is a
+    stable machine-readable code (``"max_pending"``, ``"rate"``,
+    ``"max_inflight"``) the gateway exports per tenant;
+    ``retry_after`` is a backoff hint in seconds when one is known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "max_pending",
+        tenant: "str | None" = None,
+        retry_after: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+        self.retry_after = retry_after
 
 
 class ServiceClosedError(ServiceError):
     """An operation was attempted on a closed query service."""
+
+
+class GatewayError(ServiceError):
+    """The HTTP/JSON gateway failed or was asked something malformed."""
+
+
+class QuotaExceededError(GatewayError, AdmissionError):
+    """A per-tenant gateway quota refused the request (HTTP 429).
+
+    Raised by the token-bucket rate limiter (``reason="rate"``) or the
+    max-inflight cap (``reason="max_inflight"``) before the request
+    ever reaches the scheduler, so a quota rejection never perturbs
+    service state or ledgers.
+    """
+
+
+class ResultExpiredError(GatewayError, KeyError):
+    """An async query result outlived its TTL and was evicted.
+
+    Also a :class:`KeyError`: the id no longer names anything. Maps to
+    HTTP 410 — distinct from an id that never existed (404).
+    """
+
+    def __init__(self, result_id: str):
+        # KeyError repr-quotes its args; format the message ourselves.
+        super().__init__(
+            f"result {result_id!r} expired and was evicted; "
+            f"poll within the gateway's result TTL")
+        self.result_id = result_id
+
+    def __str__(self) -> str:
+        return self.args[0]
 
 
 class GuaranteeUnreachableError(QueryError):

@@ -1,0 +1,466 @@
+"""Open-loop multi-tenant load generation (DESIGN.md §10).
+
+Drives a :class:`~repro.gateway.app.Gateway` the way a population of
+independent clients would: a deterministic **plan** of timestamped
+operations (queries and streaming appends) is compiled first from a
+seeded :class:`numpy.random.RandomState`, then **fired on schedule
+regardless of completions** — the open-loop discipline, so backpressure
+shows up as 429s and latency, never as a politely slowed generator.
+
+Skew is explicit: video popularity follows a Zipf pmf
+(``p_i ∝ 1/i^s``) over the spec list, and tenants draw from the same
+family, so a few hot tenants and hot videos dominate — the regime
+where per-tenant quotas and cross-tenant artifact sharing both matter.
+
+Two transports speak the same wire format: in-process
+(``gateway.handle`` — no sockets, the default for benchmarks) and
+HTTP (a keep-alive ``http.client`` connection pool against a
+:class:`~repro.gateway.http.GatewayServer`). The
+:class:`LoadReport` keeps ground-truth tallies of every response the
+generator saw; :func:`reconcile` asserts the gateway's ``/metrics``
+exposition agrees with them exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError, GatewayError
+from .metrics import parse_metrics_text, quantile
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+
+def zipf_pmf(n: int, s: float) -> np.ndarray:
+    """The normalized Zipf pmf ``p_i ∝ 1/i^s`` over ranks ``1..n``."""
+    if n < 1:
+        raise ConfigurationError(f"zipf support must be >= 1, got {n}")
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** float(s)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class Op:
+    """One scheduled wire operation."""
+
+    time_offset: float
+    tenant: str
+    kind: str  # "query" | "append"
+    payload: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of one open-loop run (fully deterministic given ``seed``)."""
+
+    #: Query specs in popularity order (rank 1 = hottest).
+    specs: Tuple[str, ...]
+    num_tenants: int = 1000
+    #: Total query submissions over the run.
+    num_queries: int = 500
+    #: Run length in seconds; arrivals spread uniformly at random.
+    duration: float = 2.0
+    #: Zipf exponents for video popularity and tenant activity.
+    video_skew: float = 1.1
+    tenant_skew: float = 1.0
+    k_choices: Tuple[int, ...] = (3, 5, 10)
+    guarantee_choices: Tuple[float, ...] = (0.9, 0.95)
+    #: Streams opened before the run: (stream_id, spec, initial_frames).
+    streams: Tuple[Tuple[str, str, int], ...] = ()
+    #: Appends per stream, interleaved with the query schedule.
+    appends_per_stream: int = 0
+    append_frames: int = 30
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.specs:
+            raise ConfigurationError("LoadSpec needs at least one spec")
+        if self.num_tenants < 1 or self.num_queries < 0:
+            raise ConfigurationError(
+                "num_tenants must be >= 1 and num_queries >= 0")
+        if not self.duration > 0:
+            raise ConfigurationError(
+                f"duration must be positive, got {self.duration!r}")
+
+
+def tenant_name(index: int) -> str:
+    return f"t{index:05d}"
+
+
+def build_plan(spec: LoadSpec) -> List[Op]:
+    """Compile the deterministic operation schedule for ``spec``.
+
+    Query arrival times are i.i.d. uniform over the run (a binned
+    Poisson process's order statistics), videos and tenants are
+    Zipf-distributed, and each stream's appends are evenly spaced with
+    a seeded jitter. The result is sorted by ``time_offset`` — the
+    firing order — and depends only on ``spec``.
+    """
+    rng = np.random.RandomState(spec.seed)
+    ops: List[Op] = []
+
+    video_p = zipf_pmf(len(spec.specs), spec.video_skew)
+    tenant_p = zipf_pmf(spec.num_tenants, spec.tenant_skew)
+    # Shuffle tenant ranks once so the hot tenants are not always the
+    # lexicographically first names (catches accidental name-order
+    # coupling in the gateway); the permutation is seeded too.
+    tenant_rank = rng.permutation(spec.num_tenants)
+
+    times = rng.uniform(0.0, spec.duration, size=spec.num_queries)
+    spec_idx = rng.choice(len(spec.specs), size=spec.num_queries,
+                          p=video_p)
+    tenant_idx = rng.choice(spec.num_tenants, size=spec.num_queries,
+                            p=tenant_p)
+    k_idx = rng.randint(0, len(spec.k_choices), size=spec.num_queries)
+    g_idx = rng.randint(0, len(spec.guarantee_choices),
+                        size=spec.num_queries)
+    for i in range(spec.num_queries):
+        ops.append(Op(
+            time_offset=float(times[i]),
+            tenant=tenant_name(int(tenant_rank[tenant_idx[i]])),
+            kind="query",
+            payload={
+                "spec": spec.specs[int(spec_idx[i])],
+                "k": int(spec.k_choices[int(k_idx[i])]),
+                "guarantee": float(
+                    spec.guarantee_choices[int(g_idx[i])]),
+            },
+        ))
+
+    for stream_index, (stream_id, _spec, _initial) in \
+            enumerate(spec.streams):
+        owner = tenant_name(stream_index)  # stream owners are t00000…
+        step = spec.duration / max(1, spec.appends_per_stream)
+        for a in range(spec.appends_per_stream):
+            jitter = float(rng.uniform(0.0, 0.5 * step))
+            ops.append(Op(
+                time_offset=min(spec.duration, a * step + jitter),
+                tenant=owner,
+                kind="append",
+                payload={
+                    "stream": stream_id,
+                    "frames": spec.append_frames,
+                },
+            ))
+
+    ops.sort(key=lambda op: (op.time_offset, op.tenant, op.kind))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+
+
+class InProcessTransport:
+    """Fire requests straight into ``gateway.handle`` (no sockets)."""
+
+    def __init__(self, gateway):
+        self.gateway = gateway
+
+    def request(self, method: str, path: str,
+                body=None) -> Tuple[int, object]:
+        return self.gateway.handle(method, path, body)
+
+    def close(self) -> None:
+        pass
+
+
+class HTTPTransport:
+    """A keep-alive connection pool against a :class:`GatewayServer`.
+
+    Connections are borrowed per request and returned on success; a
+    connection that errors is discarded and replaced, so one dropped
+    socket never wedges the pool.
+    """
+
+    def __init__(self, host: str, port: int, *, pool_size: int = 16,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._pool: List[HTTPConnection] = []
+        self._lock = threading.Lock()
+        self._pool_size = pool_size
+
+    def _borrow(self) -> HTTPConnection:
+        with self._lock:
+            if self._pool:
+                return self._pool.pop()
+        return HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+
+    def _give_back(self, conn: HTTPConnection) -> None:
+        with self._lock:
+            if len(self._pool) < self._pool_size:
+                self._pool.append(conn)
+                return
+        conn.close()
+
+    def request(self, method: str, path: str,
+                body=None) -> Tuple[int, object]:
+        conn = self._borrow()
+        try:
+            data = json.dumps(body).encode() if body is not None else None
+            conn.request(method, path, body=data,
+                         headers={"Content-Type": "application/json"}
+                         if data else {})
+            response = conn.getresponse()
+            raw = response.read()
+            status = response.status
+        except Exception:
+            conn.close()
+            raise
+        self._give_back(conn)
+        content_type = response.headers.get("Content-Type", "")
+        if "application/json" in content_type:
+            return status, json.loads(raw)
+        return status, raw.decode("utf-8")
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadReport:
+    """Ground truth of everything the generator saw on the wire."""
+
+    plan_ops: int = 0
+    fired_ops: int = 0
+    #: tenant -> count of each outcome the generator observed.
+    submitted: Dict[str, int] = field(default_factory=dict)
+    completed: Dict[str, int] = field(default_factory=dict)
+    failed: Dict[str, int] = field(default_factory=dict)
+    #: (tenant, reason) -> 429s observed at submit time.
+    rejected: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    appends_applied: Dict[str, int] = field(default_factory=dict)
+    append_frames: Dict[str, int] = field(default_factory=dict)
+    appends_rejected: Dict[Tuple[str, str], int] = field(
+        default_factory=dict)
+    #: Appends that returned neither applied nor a quota refusal.
+    appends_errored: int = 0
+    #: stream id -> last watermark the generator saw.
+    watermarks: Dict[str, int] = field(default_factory=dict)
+    #: result id -> (tenant, spec, k, guarantee) for byte-identity.
+    accepted: Dict[str, Tuple[str, str, int, float]] = field(
+        default_factory=dict)
+    #: result id -> report_json for every query that finished "done".
+    reports: Dict[str, str] = field(default_factory=dict)
+    #: Server-measured submit→complete seconds per done query.
+    latencies: List[float] = field(default_factory=list)
+    #: Worst lateness of any fired op vs its schedule (seconds).
+    max_behind: float = 0.0
+    wall_seconds: float = 0.0
+    unresolved: int = 0
+
+    @staticmethod
+    def _bump(table, key, amount: int = 1) -> None:
+        table[key] = table.get(key, 0) + amount
+
+    def latency_quantile(self, q: float) -> float:
+        return quantile(sorted(self.latencies), q)
+
+    def total(self, table: Dict) -> int:
+        return int(sum(table.values()))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "plan_ops": self.plan_ops,
+            "fired_ops": self.fired_ops,
+            "submitted": self.total(self.submitted),
+            "completed": self.total(self.completed),
+            "failed": self.total(self.failed),
+            "rejected": self.total(self.rejected),
+            "appends_applied": self.total(self.appends_applied),
+            "append_frames": self.total(self.append_frames),
+            "appends_rejected": self.total(self.appends_rejected),
+            "appends_errored": self.appends_errored,
+            "unresolved": self.unresolved,
+            "p50_seconds": self.latency_quantile(0.5),
+            "p95_seconds": self.latency_quantile(0.95),
+            "p99_seconds": self.latency_quantile(0.99),
+            "max_behind_seconds": self.max_behind,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def run_plan(
+    transport,
+    ops: List[Op],
+    *,
+    guns: int = 4,
+    poll_timeout: float = 120.0,
+    poll_interval: float = 0.02,
+    time_scale: float = 1.0,
+) -> LoadReport:
+    """Fire ``ops`` open-loop, then poll every accepted id to rest.
+
+    ``guns`` firing threads each take a round-robin slice of the
+    schedule and fire at ``time_offset * time_scale`` past the common
+    start instant, **never waiting for responses to come back before
+    the next shot is due** — lateness is recorded, not compensated.
+    After the last shot, accepted queries are polled until none is
+    pending or ``poll_timeout`` elapses.
+    """
+    report = LoadReport(plan_ops=len(ops))
+    lock = threading.Lock()
+    start = time.monotonic() + 0.05  # common epoch for all guns
+
+    def fire(op: Op) -> None:
+        if op.kind == "query":
+            status, body = transport.request(
+                "POST", "/query", {"tenant": op.tenant, **op.payload})
+            with lock:
+                if status == 202:
+                    report._bump(report.submitted, op.tenant)
+                    report.accepted[body["id"]] = (
+                        op.tenant, op.payload["spec"],
+                        op.payload["k"], op.payload["guarantee"])
+                elif status == 429:
+                    report._bump(
+                        report.rejected,
+                        (op.tenant, body.get("reason", "unknown")))
+                else:
+                    report._bump(report.failed, op.tenant)
+        elif op.kind == "append":
+            status, body = transport.request(
+                "POST", "/append", {"tenant": op.tenant, **op.payload})
+            stream = op.payload["stream"]
+            with lock:
+                if isinstance(body, dict) and body.get("applied"):
+                    # Frames landed (even under a 429/503 refresh
+                    # refusal) — the fully-applied contract on the wire.
+                    report._bump(report.appends_applied, op.tenant)
+                    report._bump(report.append_frames, op.tenant,
+                                 int(op.payload["frames"]))
+                    report.watermarks[stream] = int(body["watermark"])
+                elif status == 429:
+                    report._bump(
+                        report.appends_rejected,
+                        (op.tenant, body.get("reason", "unknown")))
+                else:
+                    report.appends_errored += 1
+        else:  # pragma: no cover - plans only contain the two kinds
+            raise GatewayError(f"unknown op kind {op.kind!r}")
+
+    def gun(slice_ops: List[Op]) -> None:
+        for op in slice_ops:
+            due = start + op.time_offset * time_scale
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            behind = time.monotonic() - due
+            fire(op)
+            with lock:
+                report.fired_ops += 1
+                report.max_behind = max(report.max_behind, behind)
+
+    threads = [
+        threading.Thread(
+            target=gun, args=(ops[i::guns],), name=f"gun-{i}")
+        for i in range(max(1, guns))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # Poll every accepted id to a terminal state (the generator's view
+    # of completion; the gateway's own counters must agree).
+    deadline = time.monotonic() + poll_timeout
+    outstanding = set(report.accepted)
+    while outstanding and time.monotonic() < deadline:
+        for result_id in sorted(outstanding):
+            status, body = transport.request(
+                "GET", f"/result/{result_id}")
+            if status != 200 or body["status"] == "pending":
+                continue
+            outstanding.discard(result_id)
+            tenant = report.accepted[result_id][0]
+            if body["status"] == "done":
+                report._bump(report.completed, tenant)
+                report.reports[result_id] = body["report_json"]
+                report.latencies.append(
+                    float(body["latency_seconds"]))
+            else:
+                report._bump(report.failed, tenant)
+        if outstanding:
+            time.sleep(poll_interval)
+    report.unresolved = len(outstanding)
+    report.wall_seconds = time.monotonic() - start
+    return report
+
+
+# ----------------------------------------------------------------------
+# Reconciliation
+# ----------------------------------------------------------------------
+
+
+def reconcile(report: LoadReport, metrics_text: str) -> List[str]:
+    """Check the gateway's ``/metrics`` against generator ground truth.
+
+    Returns a list of human-readable mismatches (empty = reconciled):
+    per-tenant submitted/completed/failed/rejected counters, append
+    and frame counters, and the zero-dropped-appends invariant. The
+    gateway may have served traffic beyond this generator's (its
+    counters are >= ours is *not* tolerated — benchmarks own the whole
+    gateway, so every counter must match exactly).
+    """
+    samples = parse_metrics_text(metrics_text)
+    problems: List[str] = []
+
+    def check(metric: str, expected: Dict, label_key: str = "tenant",
+              extra_label: Optional[str] = None) -> None:
+        observed: Dict = {}
+        for (name, labels), value in samples.items():
+            if name != metric:
+                continue
+            labelmap = dict(labels)
+            if extra_label is None:
+                key = labelmap.get(label_key)
+            else:
+                key = (labelmap.get(label_key),
+                       labelmap.get(extra_label))
+            observed[key] = observed.get(key, 0) + int(value)
+        expected = {k: v for k, v in expected.items() if v}
+        if observed != expected:
+            missing = {k: v for k, v in expected.items()
+                       if observed.get(k) != v}
+            surplus = {k: v for k, v in observed.items()
+                       if expected.get(k) != v}
+            problems.append(
+                f"{metric}: expected{missing!r} != observed{surplus!r}")
+
+    check("everest_gateway_queries_submitted_total", report.submitted)
+    check("everest_gateway_queries_completed_total", report.completed)
+    check("everest_gateway_queries_failed_total", report.failed)
+    check("everest_gateway_queries_rejected_total",
+          dict(report.rejected), extra_label="reason")
+    check("everest_gateway_appends_total", report.appends_applied)
+    check("everest_gateway_append_frames_total", report.append_frames)
+    check("everest_gateway_appends_rejected_total",
+          dict(report.appends_rejected), extra_label="reason")
+    dropped = sum(
+        value for (name, _labels), value in samples.items()
+        if name == "everest_gateway_appends_dropped_total")
+    if dropped:
+        problems.append(
+            f"everest_gateway_appends_dropped_total = {dropped} != 0")
+    return problems

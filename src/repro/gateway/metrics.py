@@ -1,0 +1,349 @@
+"""Prometheus-style metrics for the gateway (DESIGN.md §10).
+
+:class:`GatewayMetrics` is the gateway's counter/histogram registry;
+``render()`` produces the ``text/plain; version=0.0.4`` exposition
+format served at ``GET /metrics``. The catalog (all prefixed
+``everest_gateway_`` / ``everest_service_``):
+
+* ``queries_submitted_total{tenant=}`` / ``queries_completed_total`` /
+  ``queries_failed_total`` — per-tenant query lifecycle counters;
+* ``queries_rejected_total{tenant=,reason=}`` — backpressure refusals
+  by :class:`~repro.errors.AdmissionError` reason code;
+* ``appends_total{tenant=}`` / ``append_frames_total`` /
+  ``appends_dropped_total`` — streaming ingest (the dropped counter
+  exists to be provably zero);
+* ``latency_seconds{op=,quantile=}`` + ``_count`` / ``_sum`` —
+  p50/p95/p99 summaries per operation (query end-to-end, append,
+  http request handling);
+* ``queue_depth`` / ``inflight`` gauges and the service-side
+  Phase-1 cache counters (builds/hits/warm hits → hit rate), lifted
+  from :class:`~repro.service.service.ServiceStats` at render time.
+
+``parse_metrics_text()`` is the inverse the tests and the load
+benchmark reconcile against — counters exported here must equal the
+load generator's ground-truth tallies exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Quantiles exported for every latency summary.
+QUANTILES = (0.5, 0.95, 0.99)
+
+#: A parsed sample: (metric name, ((label, value), ...)) -> value.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN (empty summary quantiles)
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def quantile(sorted_samples: List[float], q: float) -> float:
+    """The ``q``-quantile (nearest-rank) of ascending ``samples``."""
+    if not sorted_samples:
+        return float("nan")
+    rank = max(1, math.ceil(q * len(sorted_samples)))
+    return sorted_samples[rank - 1]
+
+
+class LatencySummary:
+    """Bounded sample set exporting count/sum and p50/p95/p99.
+
+    Samples beyond ``max_samples`` overwrite the buffer ring-style:
+    the quantiles then describe the most recent window while count and
+    sum stay exact — the standard summary trade-off.
+    """
+
+    def __init__(self, max_samples: int = 65_536):
+        self.max_samples = max_samples
+        self.count = 0
+        self.sum = 0.0
+        self._samples: List[float] = []
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.sum += seconds
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+        else:
+            self._samples[self.count % self.max_samples] = seconds
+
+    def quantiles(self) -> Dict[float, float]:
+        ordered = sorted(self._samples)
+        return {q: quantile(ordered, q) for q in QUANTILES}
+
+
+class GatewayMetrics:
+    """Thread-safe counters + latency summaries, rendered on demand."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted: Dict[str, int] = {}
+        self.completed: Dict[str, int] = {}
+        self.failed: Dict[str, int] = {}
+        self.rejected: Dict[Tuple[str, str], int] = {}
+        self.appends: Dict[str, int] = {}
+        self.appends_rejected: Dict[Tuple[str, str], int] = {}
+        self.append_frames: Dict[str, int] = {}
+        self.append_errors: Dict[str, int] = {}
+        #: Appends accepted but whose frames did not land. The
+        #: streaming append contract (DESIGN.md §7) makes every append
+        #: fully-applied before any refresh error can surface, so this
+        #: stays zero; it is exported so the invariant is checkable.
+        self.dropped_appends: Dict[str, int] = {}
+        self._latency: Dict[str, LatencySummary] = {}
+
+    # -- recording -----------------------------------------------------
+    def _bump(self, table: Dict, key, amount: int = 1) -> None:
+        with self._lock:
+            table[key] = table.get(key, 0) + amount
+
+    def count_submitted(self, tenant: str) -> None:
+        self._bump(self.submitted, tenant)
+
+    def count_completed(self, tenant: str) -> None:
+        self._bump(self.completed, tenant)
+
+    def count_failed(self, tenant: str) -> None:
+        self._bump(self.failed, tenant)
+
+    def count_rejected(self, tenant: str, reason: str) -> None:
+        self._bump(self.rejected, (tenant, reason))
+
+    def count_append(self, tenant: str, frames: int) -> None:
+        self._bump(self.appends, tenant)
+        self._bump(self.append_frames, tenant, frames)
+
+    def count_append_error(self, tenant: str) -> None:
+        self._bump(self.append_errors, tenant)
+
+    def count_append_rejected(self, tenant: str, reason: str) -> None:
+        self._bump(self.appends_rejected, (tenant, reason))
+
+    def count_dropped_append(self, tenant: str) -> None:
+        self._bump(self.dropped_appends, tenant)
+
+    def observe_latency(self, op: str, seconds: float) -> None:
+        with self._lock:
+            summary = self._latency.get(op)
+            if summary is None:
+                summary = LatencySummary()
+                self._latency[op] = summary
+            summary.observe(seconds)
+
+    def latency_quantiles(self, op: str) -> Dict[float, float]:
+        with self._lock:
+            summary = self._latency.get(op)
+            return summary.quantiles() if summary is not None else {}
+
+    # -- rendering -----------------------------------------------------
+    def render(self, service_stats=None) -> str:
+        """The Prometheus text exposition for everything recorded.
+
+        ``service_stats`` (a
+        :class:`~repro.service.service.ServiceStats`) contributes the
+        engine-side gauges: queue depth, scheduler totals, Phase-1
+        cache effectiveness and per-tenant fairness charges.
+        """
+        with self._lock:
+            lines: List[str] = []
+            self._counter(
+                lines, "everest_gateway_queries_submitted_total",
+                "Queries accepted per tenant.",
+                {(("tenant", t),): v for t, v in self.submitted.items()})
+            self._counter(
+                lines, "everest_gateway_queries_completed_total",
+                "Queries completed per tenant.",
+                {(("tenant", t),): v for t, v in self.completed.items()})
+            self._counter(
+                lines, "everest_gateway_queries_failed_total",
+                "Queries that raised per tenant.",
+                {(("tenant", t),): v for t, v in self.failed.items()})
+            self._counter(
+                lines, "everest_gateway_queries_rejected_total",
+                "Backpressure refusals per tenant and reason code.",
+                {(("tenant", t), ("reason", r)): v
+                 for (t, r), v in self.rejected.items()})
+            self._counter(
+                lines, "everest_gateway_appends_total",
+                "Streaming appends applied per tenant.",
+                {(("tenant", t),): v for t, v in self.appends.items()})
+            self._counter(
+                lines, "everest_gateway_appends_rejected_total",
+                "Appends refused before any frame moved, per tenant "
+                "and reason code.",
+                {(("tenant", t), ("reason", r)): v
+                 for (t, r), v in self.appends_rejected.items()})
+            self._counter(
+                lines, "everest_gateway_append_frames_total",
+                "Frames revealed by appends per tenant.",
+                {(("tenant", t),): v
+                 for t, v in self.append_frames.items()})
+            self._counter(
+                lines, "everest_gateway_append_errors_total",
+                "Appends whose refresh pass raised (frames still "
+                "applied).",
+                {(("tenant", t),): v
+                 for t, v in self.append_errors.items()})
+            self._counter(
+                lines, "everest_gateway_appends_dropped_total",
+                "Appends whose frames failed to land (invariant: 0).",
+                {(("tenant", t),): v
+                 for t, v in self.dropped_appends.items()})
+            for op, summary in sorted(self._latency.items()):
+                name = "everest_gateway_latency_seconds"
+                lines.append(f"# TYPE {name} summary")
+                for q, value in summary.quantiles().items():
+                    lines.append(
+                        f'{name}{{op="{_escape_label(op)}",'
+                        f'quantile="{q:g}"}} {_format_value(value)}')
+                lines.append(
+                    f'{name}_count{{op="{_escape_label(op)}"}} '
+                    f'{summary.count}')
+                lines.append(
+                    f'{name}_sum{{op="{_escape_label(op)}"}} '
+                    f'{_format_value(summary.sum)}')
+        if service_stats is not None:
+            self._render_service(lines, service_stats)
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _counter(
+        lines: List[str],
+        name: str,
+        help_text: str,
+        samples: Mapping[LabelSet, float],
+    ) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        for labels in sorted(samples):
+            rendered = ",".join(
+                f'{key}="{_escape_label(str(value))}"'
+                for key, value in labels)
+            lines.append(f"{name}{{{rendered}}} "
+                         f"{_format_value(samples[labels])}")
+
+    @staticmethod
+    def _render_service(lines: List[str], stats) -> None:
+        gauges = (
+            ("everest_service_queue_depth",
+             "Queries queued but not yet running.", stats.pending),
+            ("everest_service_submitted_total",
+             "Scheduler-accepted submissions.", stats.submitted),
+            ("everest_service_completed_total",
+             "Scheduler-completed queries.", stats.completed),
+            ("everest_service_failed_total",
+             "Scheduler-failed queries.", stats.failed),
+            ("everest_service_rejected_total",
+             "Scheduler/gateway-refused submissions.", stats.rejected),
+            ("everest_service_phase1_builds_total",
+             "Distinct Phase-1 builds paid for.", stats.builds),
+            ("everest_service_phase1_hits_total",
+             "Phase-1 leases served from the shared store.", stats.hits),
+            ("everest_service_phase1_warm_hits_total",
+             "Phase-1 leases served from the warm tier.",
+             stats.warm_hits),
+            ("everest_service_phase1_hit_rate",
+             "Share of Phase-1 leases that skipped a build.",
+             stats.phase1_hit_rate),
+            ("everest_service_score_cache_entries",
+             "Frames resident in shared score caches.",
+             stats.cached_scores),
+        )
+        for name, help_text, value in gauges:
+            kind = "counter" if name.endswith("_total") else "gauge"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {_format_value(value)}")
+        lines.append(
+            "# HELP everest_service_tenant_charge_seconds "
+            "Accumulated fairness charge per tenant (oracle seconds).")
+        lines.append("# TYPE everest_service_tenant_charge_seconds gauge")
+        for tenant in sorted(stats.tenants):
+            lines.append(
+                f'everest_service_tenant_charge_seconds'
+                f'{{tenant="{_escape_label(tenant)}"}} '
+                f'{_format_value(stats.tenants[tenant])}')
+
+
+def parse_metrics_text(text: str) -> Dict[Tuple[str, LabelSet], float]:
+    """Parse the exposition format back into ``{(name, labels): value}``.
+
+    The inverse of :meth:`GatewayMetrics.render` for everything it
+    emits — the reconciliation path for tests and the load benchmark.
+    Raises :class:`ValueError` on a malformed sample line.
+    """
+    samples: Dict[Tuple[str, LabelSet], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample(line)
+        samples[(name, labels)] = value
+    return samples
+
+
+def _parse_sample(line: str) -> Tuple[str, LabelSet, float]:
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        label_text, _, value_text = rest.rpartition("} ")
+        if not _:
+            raise ValueError(f"malformed metric line {line!r}")
+        labels = tuple(
+            _parse_label(part)
+            for part in _split_labels(label_text) if part)
+    else:
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"malformed metric line {line!r}")
+        name, value_text = parts
+        labels = ()
+    return name.strip(), labels, float(value_text)
+
+
+def _split_labels(text: str) -> Iterable[str]:
+    """Split ``k="v",k2="v2"`` at commas outside quoted values."""
+    parts, buf, quoted, escaped = [], [], False, False
+    for char in text:
+        if escaped:
+            buf.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            buf.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            quoted = not quoted
+            buf.append(char)
+            continue
+        if char == "," and not quoted:
+            parts.append("".join(buf))
+            buf = []
+            continue
+        buf.append(char)
+    if buf:
+        parts.append("".join(buf))
+    return parts
+
+
+def _parse_label(part: str) -> Tuple[str, str]:
+    key, _, raw = part.partition("=")
+    if not raw.startswith('"') or not raw.endswith('"'):
+        raise ValueError(f"malformed label {part!r}")
+    value = (
+        raw[1:-1]
+        .replace(r"\"", '"').replace(r"\n", "\n").replace(r"\\", "\\"))
+    return key.strip(), value

@@ -1,0 +1,193 @@
+"""Per-tenant admission quotas for the gateway (DESIGN.md §10).
+
+Two independent caps stand between a tenant and the scheduler:
+
+* a **token bucket** per (tenant, operation class) — ``burst`` tokens
+  deep, refilled continuously at ``rate`` tokens/second — smoothing
+  sustained request rates while allowing short bursts;
+* a **max-inflight** cap on queries a tenant has submitted but not
+  yet seen complete, bounding how much of the result store and the
+  scheduler queue any one tenant can occupy.
+
+Violating either raises
+:class:`~repro.errors.QuotaExceededError` — an
+:class:`~repro.errors.AdmissionError` with ``reason`` ``"rate"`` or
+``"max_inflight"`` and a ``retry_after`` hint — *before* the request
+touches the service, so a rejected request never perturbs scheduler
+state or cost ledgers. The gateway maps it to HTTP 429.
+
+The clock is injectable (``clock=`` takes any ``() -> float`` in
+seconds, default ``time.monotonic``) so quota behaviour is exactly
+testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigurationError, QuotaExceededError
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Admission limits for one tenant.
+
+    ``None`` disables the corresponding cap. ``append_rate`` /
+    ``append_burst`` default to the query bucket's values, so a policy
+    that only names query limits still rate-limits appends.
+    """
+
+    rate: Optional[float] = None
+    burst: int = 1
+    max_inflight: Optional[int] = None
+    append_rate: Optional[float] = None
+    append_burst: Optional[int] = None
+
+    def __post_init__(self):
+        if self.rate is not None and not self.rate > 0:
+            raise ConfigurationError(
+                f"quota rate must be positive, got {self.rate!r}")
+        if self.burst < 1:
+            raise ConfigurationError(
+                f"quota burst must be >= 1, got {self.burst!r}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be None or >= 1, "
+                f"got {self.max_inflight!r}")
+        if self.append_rate is not None and not self.append_rate > 0:
+            raise ConfigurationError(
+                f"append_rate must be positive, got {self.append_rate!r}")
+        if self.append_burst is not None and self.append_burst < 1:
+            raise ConfigurationError(
+                f"append_burst must be >= 1, got {self.append_burst!r}")
+
+    @staticmethod
+    def unlimited() -> "QuotaPolicy":
+        return QuotaPolicy()
+
+
+class TokenBucket:
+    """A continuously refilled token bucket (not thread-safe alone)."""
+
+    def __init__(self, rate: float, burst: int, clock: Clock):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_take(self) -> Optional[float]:
+        """Take one token; returns None, or the retry-after on refusal."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return None
+        return (1.0 - self._tokens) / self.rate
+
+
+class _TenantState:
+    """One tenant's buckets and inflight count."""
+
+    def __init__(self, policy: QuotaPolicy, clock: Clock):
+        self.policy = policy
+        self.inflight = 0
+        self.query_bucket = (
+            TokenBucket(policy.rate, policy.burst, clock)
+            if policy.rate is not None else None)
+        append_rate = (
+            policy.append_rate if policy.append_rate is not None
+            else policy.rate)
+        append_burst = (
+            policy.append_burst if policy.append_burst is not None
+            else policy.burst)
+        self.append_bucket = (
+            TokenBucket(append_rate, append_burst, clock)
+            if append_rate is not None else None)
+
+
+class QuotaBook:
+    """Thread-safe per-tenant admission state for the whole gateway."""
+
+    def __init__(
+        self,
+        *,
+        default: Optional[QuotaPolicy] = None,
+        overrides: Optional[Dict[str, QuotaPolicy]] = None,
+        clock: Clock = time.monotonic,
+    ):
+        self.default = default if default is not None \
+            else QuotaPolicy.unlimited()
+        self.overrides = dict(overrides or {})
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantState] = {}
+
+    def policy_for(self, tenant: str) -> QuotaPolicy:
+        return self.overrides.get(tenant, self.default)
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(self.policy_for(tenant), self._clock)
+            self._tenants[tenant] = state
+        return state
+
+    def _take(self, tenant: str, bucket_name: str) -> None:
+        state = self._state(tenant)
+        bucket = getattr(state, bucket_name)
+        if bucket is None:
+            return
+        retry_after = bucket.try_take()
+        if retry_after is not None:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} exceeded its "
+                f"{bucket.rate:g}/s request rate; "
+                f"retry in {retry_after:.3f}s",
+                reason="rate", tenant=tenant, retry_after=retry_after)
+
+    def admit_query(self, tenant: str) -> None:
+        """Admit one query submission (rate + inflight), or raise.
+
+        On success the tenant holds one inflight slot; the gateway
+        MUST pair every successful admit with exactly one
+        :meth:`release` when the query completes, fails, or the
+        service refuses it downstream.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            cap = state.policy.max_inflight
+            if cap is not None and state.inflight >= cap:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} already has {state.inflight} "
+                    f"queries in flight (max_inflight={cap})",
+                    reason="max_inflight", tenant=tenant)
+            self._take(tenant, "query_bucket")
+            state.inflight += 1
+
+    def release(self, tenant: str) -> None:
+        """Return one inflight slot taken by :meth:`admit_query`."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is not None and state.inflight > 0:
+                state.inflight -= 1
+
+    def admit_append(self, tenant: str) -> None:
+        """Admit one streaming append (rate only), or raise."""
+        with self._lock:
+            self._take(tenant, "append_bucket")
+
+    def inflight(self, tenant: str) -> int:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return state.inflight if state is not None else 0

@@ -15,7 +15,7 @@ from .artifacts import (
     group_key,
 )
 from .scheduler import FairScheduler, JobOutcome, QueryFuture
-from .service import QueryOutcome, QueryService
+from .service import QueryOutcome, QueryService, ServiceStats
 
 __all__ = [
     "ArtifactStats",
@@ -24,6 +24,7 @@ __all__ = [
     "QueryFuture",
     "QueryOutcome",
     "QueryService",
+    "ServiceStats",
     "SharedArtifacts",
     "artifact_digest",
     "group_key",

@@ -47,17 +47,45 @@ class QueryFuture:
         self._done = threading.Event()
         self._value = None
         self._error: Optional[BaseException] = None
+        self._callback_lock = threading.Lock()
+        self._callbacks: List[Callable[["QueryFuture"], None]] = []
 
     # -- producer side -------------------------------------------------
     def _resolve(self, value) -> None:
         self._value = value
         self._done.set()
+        self._fire_callbacks()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self._done.set()
+        self._fire_callbacks()
+
+    def _fire_callbacks(self) -> None:
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
 
     # -- consumer side -------------------------------------------------
+    def add_done_callback(
+        self, callback: Callable[["QueryFuture"], None]
+    ) -> None:
+        """Run ``callback(self)`` when the future resolves or fails.
+
+        Fires immediately (in the calling thread) if already done;
+        otherwise fires exactly once in the scheduler worker thread
+        that finishes the job — the async gateway's completion hook,
+        which is why futures never need polling threads. Callbacks
+        must not block: they run on the worker that could be serving
+        the next batch.
+        """
+        with self._callback_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
     def done(self) -> bool:
         return self._done.is_set()
 
@@ -146,6 +174,11 @@ class FairScheduler:
         self.submitted = 0
         self.completed = 0
         self.failed = 0
+        self.rejected = 0
+        #: tenant -> reason -> refused submissions (admission control
+        #: and closed-service refusals; the raise carries the same
+        #: reason code the counter is keyed by).
+        self._rejections: Dict[str, Dict[str, int]] = {}
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-svc-{i}", daemon=True)
@@ -165,12 +198,15 @@ class FairScheduler:
         """Queue a payload; returns its future. May raise AdmissionError."""
         with self._lock:
             if self._closed:
+                self._count_rejection(tenant, "closed")
                 raise ServiceClosedError("scheduler is closed")
             if self.max_pending is not None and \
                     self._pending >= self.max_pending:
+                self._count_rejection(tenant, "max_pending")
                 raise AdmissionError(
                     f"{self._pending} queries already pending "
-                    f"(max_pending={self.max_pending}); retry later")
+                    f"(max_pending={self.max_pending}); retry later",
+                    reason="max_pending", tenant=tenant)
             future = QueryFuture(next(self._seq), tenant)
             job = Job(
                 seq=future.seq, tenant=tenant,
@@ -182,10 +218,36 @@ class FairScheduler:
             self._work_ready.notify()
             return future
 
+    def _count_rejection(self, tenant: str, reason: str) -> None:
+        """Record one refused submission (caller holds the lock)."""
+        self.rejected += 1
+        per_tenant = self._rejections.setdefault(tenant, {})
+        per_tenant[reason] = per_tenant.get(reason, 0) + 1
+
+    def count_rejection(self, tenant: str, reason: str) -> None:
+        """Record a submission refused *before* reaching the scheduler.
+
+        The service counts closed-service refusals here and the
+        gateway counts quota refusals (``"rate"``/``"max_inflight"``),
+        so one per-tenant rejection ledger covers every backpressure
+        layer. Works on a closed scheduler — refusals after close are
+        exactly the ones worth counting.
+        """
+        with self._lock:
+            self._count_rejection(tenant, reason)
+
     def charges(self) -> Dict[str, float]:
         """Accumulated fairness charge per tenant (oracle seconds)."""
         with self._lock:
             return dict(self._charged)
+
+    def rejections(self) -> Dict[str, Dict[str, int]]:
+        """Refused submissions per tenant, keyed by reason code."""
+        with self._lock:
+            return {
+                tenant: dict(reasons)
+                for tenant, reasons in self._rejections.items()
+            }
 
     def pending(self) -> int:
         with self._lock:

@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import json
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..api.executor import ExecutionDetail, QueryExecutor
@@ -51,6 +52,73 @@ from ..parallel.pool import PersistentPool, available_cpus, resolve_workers
 from .artifacts import SharedArtifacts, group_key
 from .backend import make_spec_blob, run_batch_in_pool
 from .scheduler import FairScheduler, JobOutcome, QueryFuture
+
+
+@dataclass
+class ServiceStats:
+    """A typed snapshot of service health counters.
+
+    The export surface behind ``GET /metrics`` and ``GET /stats`` on
+    the gateway (DESIGN.md §10): scheduler throughput counters
+    (including per-tenant admission rejections, keyed by the
+    :class:`~repro.errors.AdmissionError` reason code), shared-artifact
+    cache effectiveness, and per-tenant fairness charges. Mapping-style
+    ``stats["builds"]`` access is kept for existing callers.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Refused submissions (admission control / closed service).
+    rejected: int = 0
+    pending: int = 0
+    workers: int = 0
+    use_processes: bool = False
+    # Shared-artifact layer (ArtifactStats plus registry sizes).
+    builds: int = 0
+    hits: int = 0
+    single_flight_waits: int = 0
+    warm_hits: int = 0
+    warm_writes: int = 0
+    evictions: int = 0
+    resident_entries: int = 0
+    score_cache_groups: int = 0
+    cached_scores: int = 0
+    #: tenant -> accumulated fairness charge (oracle seconds).
+    tenants: Dict[str, float] = field(default_factory=dict)
+    #: tenant -> reason code -> refused submissions.
+    rejections: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def phase1_hit_rate(self) -> float:
+        """Fraction of Phase-1 leases served from the shared store."""
+        served = self.hits + self.builds + self.warm_hits
+        if served == 0:
+            return 0.0
+        return (self.hits + self.warm_hits) / served
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-safe dict (nested tenant maps copied)."""
+        data = dataclasses.asdict(self)
+        data["phase1_hit_rate"] = self.phase1_hit_rate
+        return data
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialize the snapshot to a JSON string."""
+        return json.dumps(self.as_dict(), **dumps_kwargs)
+
+    # -- mapping-style compatibility -----------------------------------
+    def __getitem__(self, key: str):
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and hasattr(self, key)
+
+    def get(self, key: str, default=None):
+        return getattr(self, key, default)
 
 
 @dataclass
@@ -287,9 +355,12 @@ class QueryService:
         bit-identical to serial execution regardless of scheduling.
         Raises :class:`~repro.errors.AdmissionError` beyond
         ``max_pending`` and :class:`~repro.errors.ServiceClosedError`
-        after :meth:`close`.
+        after :meth:`close`; either refusal lands in the per-tenant
+        rejection counters :meth:`stats` reports.
         """
-        self._check_open()
+        if self._closed:
+            self._scheduler.count_rejection(tenant, "closed")
+            raise ServiceClosedError("query service is closed")
         from ..corpus.query import CorpusQuery
 
         if isinstance(query, CorpusQuery):
@@ -560,19 +631,39 @@ class QueryService:
         """Accumulated fairness charge per tenant (oracle seconds)."""
         return self._scheduler.charges()
 
-    def stats(self) -> Dict[str, object]:
-        """A snapshot of service health counters."""
+    def count_rejection(self, tenant: str, reason: str) -> None:
+        """Record a submission refused *above* the service.
+
+        The gateway counts its quota refusals (``"rate"`` /
+        ``"max_inflight"``) here so :meth:`stats` carries one
+        per-tenant rejection ledger across every backpressure layer —
+        the reconciliation target for the metrics exporter.
+        """
+        self._scheduler.count_rejection(tenant, reason)
+
+    def stats(self) -> ServiceStats:
+        """A typed snapshot of service health counters.
+
+        Returns a :class:`ServiceStats` (``to_json()``-able, with
+        per-tenant admission-rejection counters); mapping-style access
+        keeps working for callers written against the old dict.
+        """
         snapshot = self.artifacts.snapshot()
-        snapshot.update(
+        return ServiceStats(
             submitted=self._scheduler.submitted,
             completed=self._scheduler.completed,
             failed=self._scheduler.failed,
+            rejected=self._scheduler.rejected,
             pending=self._scheduler.pending(),
             workers=self.workers,
             use_processes=self.use_processes,
             tenants=self.tenant_charges(),
+            rejections=self._scheduler.rejections(),
+            **{key: snapshot[key] for key in (
+                "builds", "hits", "single_flight_waits", "warm_hits",
+                "warm_writes", "evictions", "resident_entries",
+                "score_cache_groups", "cached_scores")},
         )
-        return snapshot
 
     # ------------------------------------------------------------------
     # Lifecycle

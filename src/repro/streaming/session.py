@@ -70,6 +70,30 @@ class AppendResult:
     def fresh_oracle_calls(self) -> int:
         return self.fresh_label_calls + self.fresh_confirm_calls
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe summary (the gateway's ``/append`` payload).
+
+        Reports are serialized through their canonical
+        :meth:`~repro.core.result.QueryReport.to_json` strings so the
+        wire bytes equal direct in-process execution's.
+        """
+        return {
+            "segment": {
+                "index": self.segment.index,
+                "start": self.segment.start,
+                "end": self.segment.end,
+            },
+            "watermark": self.watermark,
+            "reports": [report.to_json() for report in self.reports],
+            "drift": self.drift,
+            "retrained": self.retrained,
+            "audited": self.audited,
+            "fresh_label_calls": self.fresh_label_calls,
+            "fresh_confirm_calls": self.fresh_confirm_calls,
+            "fresh_inferred_frames": self.fresh_inferred_frames,
+            "wall_seconds": self.wall_seconds,
+        }
+
 
 class StreamingSession(Session):
     """An appendable (video, UDF) session with live-maintained answers."""

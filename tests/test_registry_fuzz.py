@@ -20,9 +20,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.api.registry import (
     format_corpus_spec,
+    format_query_spec,
     format_udf_spec,
     list_udfs,
     parse_corpus_spec,
+    parse_query_spec,
     parse_udf_spec,
     resolve_corpus,
     resolve_udf,
@@ -144,6 +146,10 @@ def test_format_rejects_unroundtrippable_pairs():
 
 member_lists = st.lists(
     valid_names, min_size=1, max_size=4, unique=True)
+#: UDF args that can embed in the corpus grammar's UDF half
+#: (``[^@{}]+`` — brace/at characters cannot appear there).
+corpus_safe_args = valid_args.filter(
+    lambda s: not any(char in s for char in "@{}"))
 
 
 @settings(max_examples=300, deadline=None, derandomize=True)
@@ -159,14 +165,43 @@ def test_corpus_format_then_parse_round_trips(name, arg, members):
 
 @settings(max_examples=300, deadline=None, derandomize=True)
 @given(spec=st.text(max_size=60))
-def test_corpus_parse_then_format_is_identity_on_valid_specs(spec):
+def test_corpus_parse_then_format_normalizes(spec):
+    """Parse→format is a *normalization* round-trip, not identity.
+
+    Member whitespace is tolerated on parse (``"count@{a, b}"``), so
+    formatting yields the canonical form; the canonical form itself is
+    a fixed point, and re-parsing it gives back the same parts.
+    """
     try:
         udf_spec, members = parse_corpus_spec(spec)
     except ConfigurationError as error:
         assert isinstance(error, ValueError)
         assert str(error)
         return
-    assert format_corpus_spec(udf_spec, members) == spec
+    canonical = format_corpus_spec(udf_spec, members)
+    assert parse_corpus_spec(canonical) == (udf_spec, members)
+    assert format_corpus_spec(*parse_corpus_spec(canonical)) == canonical
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(name=valid_names, arg=st.one_of(st.none(), corpus_safe_args),
+       members=member_lists,
+       pads=st.lists(
+           st.text(alphabet=" \t", max_size=3), min_size=10,
+           max_size=10))
+def test_corpus_member_whitespace_normalizes_away(name, arg, members,
+                                                  pads):
+    """``count[car]@{a, b}`` parses to the same parts as the canonical
+    spec, whatever whitespace surrounds each member name."""
+    udf_spec = format_udf_spec(name, arg)
+    canonical = format_corpus_spec(udf_spec, members)
+    padded_members = [
+        f"{pads[2 * i]}{member}{pads[2 * i + 1]}"
+        for i, member in enumerate(members)
+    ]
+    noisy = f"{udf_spec}@{{{','.join(padded_members)}}}"
+    assert parse_corpus_spec(noisy) == (udf_spec, tuple(members))
+    assert format_corpus_spec(*parse_corpus_spec(noisy)) == canonical
 
 
 @settings(max_examples=200, deadline=None, derandomize=True)
@@ -221,6 +256,60 @@ def test_resolve_corpus_builds_member_sessions():
     assert corpus.scoring.name == "count[car]"
     with pytest.raises(ValueError):
         resolve_corpus("count[car]@{definitely-not-registered}")
+
+
+# ----------------------------------------------------------------------
+# Wire query specs: ``udf/video`` or ``udf@{members}`` (DESIGN.md §10).
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(name=valid_names, arg=st.one_of(st.none(), valid_args),
+       video=valid_names)
+def test_query_spec_video_form_round_trips(name, arg, video):
+    udf_spec = format_udf_spec(name, arg)
+    spec = format_query_spec(udf_spec, video=video)
+    parsed = parse_query_spec(spec)
+    assert parsed.kind == "video"
+    assert (parsed.udf, parsed.video) == (udf_spec, video)
+    assert parsed.canonical() == spec
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(name=valid_names, arg=st.one_of(st.none(), corpus_safe_args),
+       members=member_lists)
+def test_query_spec_corpus_form_round_trips(name, arg, members):
+    udf_spec = format_udf_spec(name, arg)
+    spec = format_query_spec(udf_spec, members=members)
+    parsed = parse_query_spec(spec)
+    assert parsed.kind == "corpus"
+    assert (parsed.udf, parsed.members) == (udf_spec, tuple(members))
+    assert parsed.canonical() == spec
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(spec=st.text(max_size=60))
+def test_arbitrary_query_specs_parse_or_raise_clean_valueerror(spec):
+    try:
+        parsed = parse_query_spec(spec)
+    except ConfigurationError as error:
+        assert isinstance(error, ValueError)
+        assert str(error)
+        return
+    # Whatever parsed has a canonical form that re-parses to itself.
+    canonical = parsed.canonical()
+    assert parse_query_spec(canonical) == parsed
+
+
+def test_query_spec_slash_binds_to_the_last_segment():
+    parsed = parse_query_spec("tailgating[1/2]/traffic")
+    assert parsed.udf == "tailgating[1/2]"
+    assert parsed.video == "traffic"
+
+
+def test_format_query_spec_needs_exactly_one_target():
+    with pytest.raises(ConfigurationError):
+        format_query_spec("count[car]")
+    with pytest.raises(ConfigurationError):
+        format_query_spec("count[car]", video="a", members=["b"])
 
 
 # ----------------------------------------------------------------------
