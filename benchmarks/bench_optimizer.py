@@ -1,0 +1,244 @@
+"""Acceptance bench for the cost-based multi-query optimizer.
+
+A mixed 32-query workload — four videos x eight (k, thres) shapes,
+every query arriving on its *own* session (independent tenants who
+never hand-share state) — is executed three ways:
+
+* **serial reference** — one session per video executed serially: the
+  byte-identity oracle for both services;
+* **service-fifo** — ``QueryService(ordering="fifo")`` with a
+  2-entry artifact LRU, queries submitted in arrival (interleaved)
+  order: every lease misses residency and rebuilds — the thrash a
+  cost-blind order pays;
+* **service-cost** — the same service with ``ordering="cost"``,
+  submissions routed through ``plan_workload()`` / ``submit_plan()``:
+  the planner groups same-artifact queries and the scheduler policy
+  keeps serving the warm artifact, so each artifact builds once.
+
+Acceptance (the PR's contract), gated at every scale:
+
+* all three executions produce **byte-identical** reports per query —
+  the optimizer moves cost, never answers;
+* the optimizer pays **one build per video** (4) while FIFO pays one
+  per query (32);
+* the optimizer's physical simulated cost (builds + cache-missing
+  confirmations) beats FIFO by **>= 2x** (structural: ~8x expected).
+
+The machine-readable summary lands in ``results/BENCH_optimizer.json``
+(override with ``REPRO_BENCH_OPTIMIZER_JSON``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import EverestConfig, QueryService, Session
+from repro.experiments.runner import format_table
+from repro.oracle import counting_udf
+from repro.video import TrafficVideo
+
+#: Margin the optimizer must clear over FIFO on physical cost.
+MIN_PHYSICAL_RATIO = 2.0
+
+VIDEO_SEEDS = (201, 202, 203, 204)
+#: (k, thres) shapes mixed across the videos: 8 per video.
+SHAPES = tuple(
+    (k, thres) for thres in (0.9, 0.95) for k in (3, 5, 8, 10))
+#: Artifact LRU small enough that interleaved FIFO order thrashes it.
+ARTIFACT_ENTRIES = 2
+
+
+def _config() -> EverestConfig:
+    return EverestConfig.fast()
+
+
+def _frames(strict: bool) -> int:
+    return 600 if strict else 240
+
+
+def _video(seed: int, frames: int) -> TrafficVideo:
+    return TrafficVideo(f"opt-bench-{seed}", frames, seed=seed)
+
+
+def _workload():
+    """(video seed, k, thres) for all 32 queries, video-interleaved."""
+    return [
+        (seed, k, thres)
+        for k, thres in SHAPES
+        for seed in VIDEO_SEEDS
+    ]
+
+
+def _query(session, k, thres):
+    return session.query().topk(k).guarantee(thres).deterministic_timing()
+
+
+def _run_serial(workload, frames):
+    sessions = {
+        seed: Session(
+            _video(seed, frames), counting_udf("car"), config=_config())
+        for seed in VIDEO_SEEDS
+    }
+    return [
+        _query(sessions[seed], k, thres).run()
+        for seed, k, thres in workload
+    ]
+
+
+def _open_sessions(service, workload, frames):
+    """One fresh session per query — nobody hand-shares Phase 1."""
+    return [
+        service.open_session(
+            _video(seed, frames), counting_udf("car"), config=_config())
+        for seed, _k, _thres in workload
+    ]
+
+
+def _physical_seconds(service):
+    """Simulated seconds the run physically paid: builds (including
+    every LRU-thrash rebuild) plus cache-missing confirmations."""
+    stats = service.stats()
+    confirm_seconds = 0.0
+    for outcome in service.outcomes():
+        fresh = outcome.fresh_confirm_calls
+        if fresh is None:
+            fresh = outcome.phase2_cost.units("oracle_confirm")
+        per_call = (
+            outcome.phase2_cost.seconds("oracle_confirm")
+            / max(outcome.phase2_cost.units("oracle_confirm"), 1.0))
+        confirm_seconds += fresh * per_call
+    return stats.build_seconds + confirm_seconds, stats
+
+
+def _run_fifo(workload, frames):
+    with QueryService(
+            workers=1, use_processes=False,
+            artifact_entries=ARTIFACT_ENTRIES) as service:
+        sessions = _open_sessions(service, workload, frames)
+        futures = [
+            service.submit(_query(session, k, thres), tenant="bench")
+            for session, (_seed, k, thres) in zip(sessions, workload)
+        ]
+        reports = service.gather(futures, timeout=600)
+        physical, stats = _physical_seconds(service)
+    return reports, physical, stats
+
+
+def _run_cost(workload, frames):
+    with QueryService(
+            workers=1, use_processes=False, ordering="cost",
+            artifact_entries=ARTIFACT_ENTRIES) as service:
+        sessions = _open_sessions(service, workload, frames)
+        queries = [
+            _query(session, k, thres)
+            for session, (_seed, k, thres) in zip(sessions, workload)
+        ]
+        plan = service.plan_workload(queries)
+        reports = service.gather(
+            service.submit_plan(plan, tenant="bench"), timeout=600)
+        physical, stats = _physical_seconds(service)
+    return reports, physical, stats, plan
+
+
+def _out_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_OPTIMIZER_JSON", "").strip()
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent / "results" \
+        / "BENCH_optimizer.json"
+
+
+def test_optimizer_workload(bench_scale, bench_strict, benchmark=None):
+    frames = _frames(bench_strict)
+    workload = _workload()
+    queries = len(workload)
+
+    start = time.perf_counter()
+    reference = _run_serial(workload, frames)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fifo_reports, fifo_physical, fifo_stats = _run_fifo(workload, frames)
+    t_fifo = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cost_reports, cost_physical, cost_stats, plan = _run_cost(
+        workload, frames)
+    t_cost = time.perf_counter() - start
+
+    ratio = fifo_physical / cost_physical
+    rows = [
+        ["serial reference", f"{t_serial:.2f}s", "-", "-", "-"],
+        ["service-fifo", f"{t_fifo:.2f}s", str(fifo_stats.builds),
+         f"{fifo_physical:.1f}s", "1.00x"],
+        ["service-cost", f"{t_cost:.2f}s", str(cost_stats.builds),
+         f"{cost_physical:.1f}s", f"{ratio:.2f}x"],
+    ]
+    print()
+    print(format_table(
+        ("execution", "wall-clock", "builds", "physical cost", "margin"),
+        rows,
+        title=f"Optimizer: {queries}-query mixed workload over "
+              f"{len(VIDEO_SEEDS)} videos x {len(SHAPES)} shapes, "
+              f"artifact LRU={ARTIFACT_ENTRIES}, {frames} frames",
+    ))
+
+    # Byte identity: the optimizer moves cost, never answers.
+    expected = [report.to_json() for report in reference]
+    assert [report.to_json() for report in fifo_reports] == expected
+    assert [report.to_json() for report in cost_reports] == expected
+
+    # Structure: FIFO thrashes the 2-entry LRU (one build per query),
+    # the planned order builds each artifact exactly once.
+    assert fifo_stats.builds == queries
+    assert cost_stats.builds == len(VIDEO_SEEDS)
+    assert cost_stats.planned == queries
+    assert cost_stats.calibration_observed == queries
+
+    # The gated margin.
+    assert ratio >= MIN_PHYSICAL_RATIO, (
+        f"expected the cost ordering to pay <= 1/{MIN_PHYSICAL_RATIO}x "
+        f"FIFO's physical cost, got {ratio:.2f}x")
+
+    summary = {
+        "scale": "bench" if bench_strict else "quick",
+        "queries": queries,
+        "videos": len(VIDEO_SEEDS),
+        "frames": frames,
+        "artifact_entries": ARTIFACT_ENTRIES,
+        "byte_identical": True,
+        "planned_order": plan.order(),
+        "fifo": {
+            "wall_seconds": round(t_fifo, 3),
+            "builds": fifo_stats.builds,
+            "build_seconds": round(fifo_stats.build_seconds, 3),
+            "physical_seconds": round(fifo_physical, 3),
+        },
+        "cost": {
+            "wall_seconds": round(t_cost, 3),
+            "builds": cost_stats.builds,
+            "build_seconds": round(cost_stats.build_seconds, 3),
+            "physical_seconds": round(cost_physical, 3),
+            "estimated_seconds": round(cost_stats.estimated_seconds, 3),
+            "actual_seconds": round(cost_stats.actual_seconds, 3),
+            "calibration_error": round(cost_stats.calibration_error, 4),
+        },
+        "physical_ratio": round(ratio, 3),
+        "min_physical_ratio": MIN_PHYSICAL_RATIO,
+    }
+    out = _out_path()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\nsummary -> {out}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    os.environ.setdefault("REPRO_BENCH_SCALE", "quick")
+
+    class _Scale:
+        min_frames = 0
+
+    test_optimizer_workload(_Scale(), False)

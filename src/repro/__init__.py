@@ -46,6 +46,7 @@ from .corpus import (
     FederatedTopK,
     VideoCorpus,
 )
+from .optimizer import CostEstimator, WorkloadPlanner
 from .service import QueryFuture, QueryService
 from .streaming import StreamingConfig, StreamingSession
 from .video.streaming import StreamingVideo
@@ -78,6 +79,8 @@ __all__ = [
     "resolve_workers",
     "QueryFuture",
     "QueryService",
+    "CostEstimator",
+    "WorkloadPlanner",
     "StreamingSession",
     "StreamingConfig",
     "StreamingVideo",

@@ -98,8 +98,15 @@ class QueryPlan:
         decode = self.unit_costs.get("decode", 0.0)
         return confirm, decode
 
-    def explain(self) -> str:
-        """Render the plan as an indented, human-readable tree."""
+    def explain(self, *, estimate=None) -> str:
+        """Render the plan as an indented, human-readable tree.
+
+        ``estimate`` optionally attaches an optimizer
+        :class:`~repro.optimizer.estimator.CostPrediction` (from
+        ``QueryService.plan_workload`` or ``CostEstimator.predict``):
+        the rendered tree then carries the predicted Phase-1 tier,
+        expected confirmations, chosen lane and physical cost.
+        """
         phase1 = self.config.phase1
         labels = phase1.train_sample_size(self.num_frames)
         holdout = phase1.holdout_sample_size(self.num_frames)
@@ -123,4 +130,6 @@ class QueryPlan:
             f"decode={decode:g}s/frame (simulated)",
             f"  seed     : {self.config.seed}",
         ]
+        if estimate is not None:
+            lines.append(f"  optimizer: {estimate.describe()}")
         return "\n".join(lines)

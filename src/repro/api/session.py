@@ -125,10 +125,13 @@ def build_phase1_entry(
     and the service artifact layer (whose single-flight builds happen
     outside any one session). Charges are purely simulated — no
     wall-clock timers run during Phase 1 — so two builds of the same
-    ``(video, scoring, config)`` produce bit-identical entries.
+    ``(video, scoring, config)`` produce bit-identical entries; the
+    default ledger is marked ``wall_clock=False`` accordingly, so
+    merged ledgers built from Phase-1 folds stay deterministic
+    (:func:`~repro.oracle.cost.merge_cost_models` propagates the flag).
     """
     cost_model = cost_model if cost_model is not None \
-        else CostModel(unit_costs)
+        else CostModel(unit_costs, wall_clock=False)
     oracle = Oracle(scoring, cost_model, cost_key="oracle_label")
     result = run_phase1(
         video,
@@ -142,6 +145,40 @@ def build_phase1_entry(
         result=result,
         oracle_calls=oracle.calls,
         cost_model=cost_model,
+    )
+
+
+def estimate_phase1_seconds(
+    num_frames: int,
+    unit_costs: Dict[str, float],
+    config: EverestConfig,
+    *,
+    retained_fraction: float = 1.0,
+) -> float:
+    """A prior for one Phase-1 build's simulated cost (no build run).
+
+    Mirrors the charge structure of
+    :func:`~repro.core.phase1.replay_phase1_charges` with the two
+    quantities unknowable before the build estimated: the number of
+    retained frames (``retained_fraction`` of the prefix; the
+    difference detector discards the rest) and the grid's
+    sample-epochs (every candidate trains on the full sample for every
+    epoch). This is the cold-start prior the optimizer's
+    :class:`~repro.optimizer.estimator.CostEstimator` uses until real
+    build ledgers calibrate it.
+    """
+    phase1 = config.phase1
+    pool = phase1.sample_pool(num_frames)
+    train = phase1.train_sample_size(pool)
+    holdout = phase1.holdout_sample_size(pool)
+    retained = retained_fraction * num_frames
+    get = unit_costs.get
+    return (
+        (train + holdout) * (get("oracle_label", 0.0) + get("decode", 0.0))
+        + train * phase1.epochs * len(phase1.cmdn_grid)
+        * get("cmdn_train", 0.0)
+        + num_frames * (get("diff_detect", 0.0) + get("decode", 0.0))
+        + retained * get("cmdn_infer", 0.0)
     )
 
 
@@ -310,8 +347,10 @@ class Session:
         entry = self._phase1_cache.get(key)
         if entry is not None:
             return entry.cost_model
+        # Deterministic like every Phase-1 ledger: the build it will
+        # receive charges from never runs wall-clock timers.
         return self._phase1_cost_models.setdefault(
-            key, CostModel(self._unit_costs))
+            key, CostModel(self._unit_costs, wall_clock=False))
 
     def phase1(self, config: Optional[EverestConfig] = None) -> Phase1Entry:
         """The cached Phase 1 artifacts for ``config`` (runs on miss).
@@ -371,6 +410,23 @@ class Session:
         """
         config = config if config is not None else self.config
         self._phase1_cache[phase1_key(config)] = entry
+
+    def phase1_cached(
+        self,
+        config: Optional[EverestConfig] = None,
+        *,
+        key: Optional[Phase1Key] = None,
+    ) -> bool:
+        """Whether this session already pins Phase-1 artifacts.
+
+        Pass either a configuration (``None`` means the session
+        config) or a precomputed ``key``. A pinned entry means a query
+        under that configuration pays zero new Phase-1 cost — the
+        warmness signal the cost optimizer orders by.
+        """
+        if key is None:
+            key = phase1_key(config if config is not None else self.config)
+        return key in self._phase1_cache
 
     @property
     def phase1_result(self) -> Phase1Result:

@@ -261,6 +261,25 @@ class GatewayMetrics:
             ("everest_service_score_cache_entries",
              "Frames resident in shared score caches.",
              stats.cached_scores),
+            ("everest_service_phase1_build_seconds",
+             "Simulated seconds paid across every Phase-1 build, "
+             "including rebuilds of evicted keys.",
+             stats.build_seconds),
+            ("everest_service_planned_total",
+             "Queries submitted through an optimizer WorkloadPlan.",
+             stats.planned),
+            ("everest_service_calibration_observed_total",
+             "Completed queries with an estimated-vs-actual cost pair.",
+             stats.calibration_observed),
+            ("everest_service_estimated_cost_seconds",
+             "Sum of optimizer-predicted Phase-2 ledger seconds.",
+             stats.estimated_seconds),
+            ("everest_service_actual_cost_seconds",
+             "Sum of actual Phase-2 ledger seconds over the same "
+             "queries.", stats.actual_seconds),
+            ("everest_service_calibration_error",
+             "Mean |estimated - actual| / actual over observed "
+             "queries.", stats.calibration_error),
         )
         for name, help_text, value in gauges:
             kind = "counter" if name.endswith("_total") else "gauge"

@@ -1,0 +1,335 @@
+"""Per-(video, UDF, config) cost prediction calibrated from ledgers.
+
+The :class:`CostEstimator` is the optimizer's model of what a query
+*will* cost before it runs, built from what past queries *did* cost —
+the :class:`~repro.oracle.cost.CostModel` ledgers every build and every
+query already record:
+
+* **Phase 1** — a cold build's simulated cost, keyed by the artifact
+  digest. History is exact (build ledgers are bit-identical run to
+  run); with no history the
+  :func:`~repro.api.session.estimate_phase1_seconds` prior stands in.
+  A *warm* artifact (resident in the shared store or pinned by the
+  session) predicts zero new Phase-1 cost — the shared-artifact
+  awareness the planner orders by.
+* **Phase 2** — expected oracle confirmations, keyed by
+  ``(group, mode, k)`` and observed from each completed query's
+  ``oracle_confirm`` ledger units. The share expected to be served
+  physically free by the group score cache scales with the caller's
+  measured cache coverage.
+* **Lanes** — observed wall-clock per executed query on each lane
+  (``"inline"`` / ``"process"``), which is where pickling and IPC
+  overheads show up. A query whose predicted Phase-2 work does not
+  clear the process lane's observed overhead is routed inline.
+
+Estimator state persists through the §7 artifact store
+(:mod:`repro.streaming.store`: pickled state + sha256-verified
+manifest) so a restarted service starts calibrated, and it is updated
+online after every completed query.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..api.plan import QueryPlan
+from ..api.session import estimate_phase1_seconds
+
+#: Lane the estimator assumes before any observation: the process
+#: lane's per-batch round trip (pickling + IPC) costs roughly this
+#: many seconds of overhead.
+DEFAULT_PROCESS_OVERHEAD = 0.05
+
+#: With no confirm history, expect the cleaning loop to confirm about
+#: this many batches before the guarantee binds (rough prior — the
+#: first completed query on the group replaces it).
+PRIOR_CONFIRM_BATCHES = 4.0
+
+
+@dataclass
+class _Running:
+    """A mean over observed samples (sum / count)."""
+
+    total: float = 0.0
+    count: int = 0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def as_state(self) -> Tuple[float, int]:
+        return (self.total, self.count)
+
+
+@dataclass(frozen=True)
+class CostPrediction:
+    """What one pending query is expected to cost, and on which lane.
+
+    ``phase1_seconds`` is the *new* simulated cost the query would
+    trigger (zero when the artifact is warm); ``phase2_seconds`` is
+    the full simulated Phase-2 ledger the report will account
+    regardless of sharing; ``physical_seconds`` is what actually gets
+    paid — cold builds plus cache-missing confirmations plus lane
+    overhead — and is the quantity cheapest-first ordering minimizes.
+    """
+
+    phase1_seconds: float
+    phase1_warm: bool
+    confirm_calls: float
+    fresh_fraction: float
+    phase2_seconds: float
+    lane: str
+    lane_overhead_seconds: float
+
+    @property
+    def physical_seconds(self) -> float:
+        return (
+            self.phase1_seconds
+            + self.phase2_seconds * self.fresh_fraction
+            + self.lane_overhead_seconds
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Ledger view: Phase 1 (if cold) + full Phase 2."""
+        return self.phase1_seconds + self.phase2_seconds
+
+    def describe(self) -> str:
+        tier = "warm" if self.phase1_warm else "cold"
+        return (
+            f"{tier} phase1={self.phase1_seconds:.2f}s "
+            f"confirms~{self.confirm_calls:.0f} "
+            f"({1 - self.fresh_fraction:.0%} cached) "
+            f"lane={self.lane} "
+            f"physical~{self.physical_seconds:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationStats:
+    """How well predictions have tracked actual ledgers so far."""
+
+    observed: int = 0
+    estimated_seconds: float = 0.0
+    actual_seconds: float = 0.0
+
+    @property
+    def mean_abs_relative_error(self) -> float:
+        """Mean of |estimate - actual| / actual over observed queries."""
+        return self._error_sum / self.observed if self.observed else 0.0
+
+    # dataclass(frozen) + derived sum: carried explicitly.
+    _error_sum: float = 0.0
+
+
+class CostEstimator:
+    """Ledger-history-calibrated cost predictions (thread-safe)."""
+
+    def __init__(self, *, path=None):
+        self._lock = threading.Lock()
+        #: artifact digest -> observed build ledger totals.
+        self._builds: Dict[str, _Running] = {}
+        #: (group, mode, k) -> observed oracle_confirm units.
+        self._confirms: Dict[tuple, _Running] = {}
+        #: lane -> observed wall seconds per executed query.
+        self._lane_wall: Dict[str, _Running] = {}
+        self._observed = 0
+        self._estimated_sum = 0.0
+        self._actual_sum = 0.0
+        self._error_sum = 0.0
+        self.path = path
+        if path is not None:
+            self.load(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        plan: QueryPlan,
+        *,
+        group,
+        digest: str,
+        warm: bool,
+        cache_coverage: float = 0.0,
+        pool_available: bool = False,
+    ) -> CostPrediction:
+        """Predict one query's cost under the current shared state.
+
+        ``warm`` says whether the Phase-1 artifact already exists
+        (resident or session-pinned); ``cache_coverage`` is the share
+        of the relation already revealed in the group score cache;
+        ``pool_available`` gates whether ``"process"`` may be chosen.
+        """
+        with self._lock:
+            phase1 = 0.0 if warm else self._phase1_estimate(plan, digest)
+            confirms = self._confirm_estimate(plan, group)
+            overhead = self._process_overhead()
+        per_confirm = (
+            plan.unit_costs.get("oracle_confirm", 0.0)
+            + plan.unit_costs.get("decode", 0.0)
+        )
+        phase2 = confirms * per_confirm
+        fresh = max(0.0, 1.0 - max(0.0, min(1.0, cache_coverage)))
+        # Lane: ship to the pool only when the predicted physical
+        # Phase-2 work clears the observed per-batch overhead —
+        # otherwise pickling dominates and inline is strictly better.
+        if pool_available and phase2 * fresh >= overhead:
+            lane, lane_overhead = "process", overhead
+        else:
+            lane, lane_overhead = "inline", 0.0
+        return CostPrediction(
+            phase1_seconds=phase1,
+            phase1_warm=warm,
+            confirm_calls=confirms,
+            fresh_fraction=fresh,
+            phase2_seconds=phase2,
+            lane=lane,
+            lane_overhead_seconds=lane_overhead,
+        )
+
+    def _phase1_estimate(self, plan: QueryPlan, digest: str) -> float:
+        history = self._builds.get(digest)
+        if history is not None and history.mean is not None:
+            return history.mean
+        return estimate_phase1_seconds(
+            plan.num_frames, plan.unit_costs, plan.config)
+
+    def _confirm_estimate(self, plan: QueryPlan, group) -> float:
+        history = self._confirms.get((group, plan.mode, plan.k))
+        if history is not None and history.mean is not None:
+            return history.mean
+        prior = plan.k * plan.config.phase2.batch_size \
+            * PRIOR_CONFIRM_BATCHES
+        return float(min(plan.num_tuples, prior))
+
+    def _process_overhead(self) -> float:
+        observed = self._lane_wall.get("process")
+        if observed is not None and observed.mean is not None:
+            inline = self._lane_wall.get("inline")
+            baseline = inline.mean if inline and inline.mean else 0.0
+            return max(0.0, observed.mean - baseline)
+        return DEFAULT_PROCESS_OVERHEAD
+
+    # ------------------------------------------------------------------
+    # Online calibration
+    # ------------------------------------------------------------------
+    def observe_build(self, digest: str, cost_model) -> None:
+        """Record one Phase-1 build's ledger total under its digest."""
+        with self._lock:
+            self._builds.setdefault(digest, _Running()) \
+                .add(cost_model.total_seconds())
+
+    def observe_query(
+        self,
+        plan: QueryPlan,
+        *,
+        group,
+        phase2_cost,
+        wall_seconds: float,
+        lane: str,
+        predicted: Optional[CostPrediction] = None,
+    ) -> None:
+        """Fold one completed query back into the model.
+
+        ``phase2_cost`` is the query's per-query ledger (deterministic
+        under the service contract), ``wall_seconds`` the measured
+        execution time on ``lane``. When the caller kept the
+        ``predicted`` estimate, the estimated-vs-actual pair feeds the
+        calibration error :meth:`calibration` reports.
+        """
+        actual = phase2_cost.total_seconds()
+        with self._lock:
+            self._confirms.setdefault(
+                (group, plan.mode, plan.k), _Running()) \
+                .add(phase2_cost.units("oracle_confirm"))
+            self._lane_wall.setdefault(lane, _Running()).add(wall_seconds)
+            if predicted is not None:
+                self._observed += 1
+                self._estimated_sum += predicted.phase2_seconds
+                self._actual_sum += actual
+                if actual > 0:
+                    self._error_sum += \
+                        abs(predicted.phase2_seconds - actual) / actual
+
+    def calibration(self) -> CalibrationStats:
+        with self._lock:
+            return CalibrationStats(
+                observed=self._observed,
+                estimated_seconds=self._estimated_sum,
+                actual_seconds=self._actual_sum,
+                _error_sum=self._error_sum,
+            )
+
+    # ------------------------------------------------------------------
+    # Persistence (§7 artifact store)
+    # ------------------------------------------------------------------
+    def _state(self) -> Dict[str, object]:
+        return {
+            "builds": {k: v.as_state() for k, v in self._builds.items()},
+            "confirms": {k: v.as_state() for k, v in self._confirms.items()},
+            "lane_wall": {
+                k: v.as_state() for k, v in self._lane_wall.items()},
+            "calibration": (
+                self._observed, self._estimated_sum,
+                self._actual_sum, self._error_sum,
+            ),
+        }
+
+    def save(self, path=None) -> None:
+        """Persist history to a checkpoint directory (atomic, verified)."""
+        from ..streaming.store import write_checkpoint
+
+        target = path if path is not None else self.path
+        if target is None:
+            raise ValueError("CostEstimator.save needs a path")
+        with self._lock:
+            state = self._state()
+        write_checkpoint(target, state, metadata={"kind": "cost_estimator"})
+
+    def load(self, path=None, *, missing_ok: bool = False) -> bool:
+        """Load history from a checkpoint directory; True when loaded.
+
+        A missing or torn checkpoint is a cold start when
+        ``missing_ok`` (the constructor path) — calibration simply
+        begins from priors again.
+        """
+        from pathlib import Path
+
+        from ..errors import CheckpointError
+        from ..streaming.store import read_checkpoint
+
+        target = path if path is not None else self.path
+        if target is None:
+            raise ValueError("CostEstimator.load needs a path")
+        try:
+            state, _manifest = read_checkpoint(Path(target))
+        except CheckpointError:
+            if missing_ok:
+                return False
+            raise
+        with self._lock:
+            self._builds = {
+                k: _Running(*v) for k, v in state["builds"].items()}
+            self._confirms = {
+                k: _Running(*v) for k, v in state["confirms"].items()}
+            self._lane_wall = {
+                k: _Running(*v) for k, v in state["lane_wall"].items()}
+            (self._observed, self._estimated_sum,
+             self._actual_sum, self._error_sum) = state["calibration"]
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CostEstimator(builds={len(self._builds)}, "
+            f"confirm_keys={len(self._confirms)}, "
+            f"observed={self._observed})"
+        )

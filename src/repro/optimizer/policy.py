@@ -1,0 +1,55 @@
+"""Cost-based batch composition for the FairScheduler.
+
+:class:`CostOrderedPolicy` is the optimizer's
+:class:`~repro.service.scheduler.OrderingPolicy`: cross-tenant
+fairness stays exactly where it was (the scheduler's deficit rule on
+accumulated oracle charge picks *which tenant* runs), and this policy
+decides *which of that tenant's jobs* a freed worker serves:
+
+* the queued job with the smallest estimated physical cost leads —
+  cheapest-first, with submission order breaking ties so equal-cost
+  work keeps FIFO semantics;
+* every same-``batch_key`` job anywhere in the queue rides along (up
+  to ``max_batch``), not just immediately adjacent ones — an
+  interleaved sweep over two artifacts still dispatches as one pool
+  round trip per artifact.
+
+The cost function sees the scheduler payload (the service passes its
+estimator's physical-cost prediction); a payload it cannot price — a
+stream refresh, a corpus job, a cost function error — prices as 0.0,
+which degrades exactly to FIFO-with-gathering for those jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Deque, List
+
+from ..service.scheduler import Job, OrderingPolicy
+
+
+class CostOrderedPolicy(OrderingPolicy):
+    """Cheapest-first within a tenant, same-key jobs gathered."""
+
+    def __init__(self, cost_fn: Callable[[object], float]):
+        self._cost_fn = cost_fn
+
+    def _cost(self, payload) -> float:
+        try:
+            return float(self._cost_fn(payload))
+        except Exception:  # noqa: BLE001 - pricing must never block work
+            return 0.0
+
+    def take_batch(self, queue: Deque[Job], max_batch: int) -> List[Job]:
+        jobs = list(queue)
+        lead = min(jobs, key=lambda job: (self._cost(job.payload), job.seq))
+        batch = [lead]
+        if lead.batch_key is not None:
+            for job in jobs:
+                if len(batch) >= max_batch:
+                    break
+                if job is not lead and job.batch_key == lead.batch_key:
+                    batch.append(job)
+        taken = {id(job) for job in batch}
+        queue.clear()
+        queue.extend(job for job in jobs if id(job) not in taken)
+        return batch

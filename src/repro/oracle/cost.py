@@ -179,9 +179,22 @@ def merge_cost_models(
     models: "list[CostModel] | tuple[CostModel, ...]",
     *,
     unit_costs: Optional[Mapping[str, float]] = None,
+    wall_clock: Optional[bool] = None,
 ) -> CostModel:
-    """A fresh ledger holding the key-wise sum of ``models``' charges."""
-    merged = CostModel(unit_costs)
+    """A fresh ledger holding the key-wise sum of ``models``' charges.
+
+    ``wall_clock`` propagates from the inputs unless overridden: the
+    merge is deterministic exactly when *every* input ledger is
+    (``wall_clock=False``). The old behaviour — always constructing a
+    ``wall_clock=True`` merge — silently re-enabled :meth:`~CostModel.timer`
+    on the fold of an all-deterministic workload, breaking the
+    bit-identical-ledger guarantee for anything charged post-merge. An
+    empty ``models`` keeps the wall-clock default.
+    """
+    models = list(models)
+    if wall_clock is None:
+        wall_clock = any(m.wall_clock for m in models) if models else True
+    merged = CostModel(unit_costs, wall_clock=wall_clock)
     for model in models:
         merged.merge_from(model)
     return merged

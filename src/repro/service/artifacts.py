@@ -94,6 +94,10 @@ class ArtifactStats:
     warm_hits: int = 0
     warm_writes: int = 0
     evictions: int = 0
+    #: Simulated seconds paid across every build, *including* rebuilds
+    #: of LRU-evicted keys — the physical Phase-1 spend, unlike the
+    #: dedup'd ledger archive ``merged_cost`` folds.
+    build_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -169,6 +173,8 @@ class SharedArtifacts:
                     session.resolved_unit_costs(), config)
                 with self._lock:
                     self.stats.builds += 1
+                    self.stats.build_seconds += \
+                        entry.cost_model.total_seconds()
                 self._store_warm(artifact, entry)
             self._admit(artifact, entry)
             build.entry = entry
@@ -194,6 +200,11 @@ class SharedArtifacts:
     def resident_keys(self) -> List[ArtifactKey]:
         with self._lock:
             return list(self._entries)
+
+    def resident(self, artifact: ArtifactKey) -> bool:
+        """Whether the artifact is resident right now (no LRU touch)."""
+        with self._lock:
+            return artifact in self._entries
 
     def phase1_ledgers(self) -> List[CostModel]:
         """One Phase-1 ledger per key ever built, in digest order.

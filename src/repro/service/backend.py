@@ -96,6 +96,20 @@ def _service_worker_run(task: BatchTask) -> BatchResult:
 # Parent-side helpers.
 
 
+def run_batch_inline(session, plans) -> List[ExecutionDetail]:
+    """Execute a batch on the calling thread (the inline lane).
+
+    The inline mirror of :func:`run_batch_in_pool`: same input shape
+    (one session, a batch of plans), same output shape (per-plan
+    :class:`~repro.api.executor.ExecutionDetail`), so the service's
+    lane choice is a pure routing decision. A per-plan failure raises
+    out of this function — the caller fans errors per task, exactly as
+    it would for a pool-lane failure.
+    """
+    executor = QueryExecutor(session, workers=1)
+    return [executor.execute_detailed(plan) for plan in plans]
+
+
 def make_spec_blob(session, entries) -> bytes:
     """Pickle one worker-session spec (video + config + Phase 1)."""
     spec = _SessionSpec(

@@ -29,6 +29,7 @@ the backend, so scheduler threads stay cheap.
 
 from __future__ import annotations
 
+import copy
 import itertools
 import threading
 from collections import deque
@@ -141,6 +142,67 @@ class JobOutcome:
 RunBatch = Callable[[Sequence[object]], List[JobOutcome]]
 
 
+def _clone_error(error: BaseException) -> BaseException:
+    """A private copy of ``error`` for one future in a failed batch.
+
+    Every future of a failed batch used to share one exception
+    *instance*; concurrent ``result()`` re-raises then mutated the
+    shared ``__traceback__`` and cross-contaminated the tracebacks
+    callers logged. Copies preserve type, ``args`` and attribute state
+    (``copy.copy`` round-trips through ``__reduce_ex__``, the same
+    path pickling uses) and inherit the original raise site's
+    traceback, so each future re-raises independently. Falls back to
+    the shared instance if the exception resists copying — worse
+    tracebacks beat losing the error.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:  # pragma: no cover - exotic uncopyable error
+        return error
+    if type(clone) is not type(error):  # pragma: no cover - odd __copy__
+        return error
+    clone.__traceback__ = error.__traceback__
+    clone.__cause__ = error.__cause__
+    clone.__context__ = error.__context__
+    clone.__suppress_context__ = error.__suppress_context__
+    return clone
+
+
+class OrderingPolicy:
+    """How a worker composes its next batch from a tenant's queue.
+
+    The scheduler keeps cross-tenant fairness to itself (the deficit
+    rule on accumulated charge is not pluggable — it is the service's
+    isolation guarantee); what a policy *can* choose is which of the
+    winning tenant's queued jobs run next and which ride along in the
+    same batch. ``take_batch`` must remove the returned jobs from
+    ``queue`` and return at least one job when the queue is non-empty.
+
+    The default :class:`FifoPolicy` preserves submission order and
+    batches only immediately adjacent same-``batch_key`` jobs; the
+    cost-based optimizer (:mod:`repro.optimizer.policy`) reorders
+    cheapest-first and gathers same-key jobs from anywhere in the
+    queue.
+    """
+
+    def take_batch(
+        self, queue: Deque[Job], max_batch: int
+    ) -> List[Job]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class FifoPolicy(OrderingPolicy):
+    """Submission order, adjacency-only batching (the default)."""
+
+    def take_batch(self, queue: Deque[Job], max_batch: int) -> List[Job]:
+        batch = [queue.popleft()]
+        while (queue and len(batch) < max_batch
+               and batch[0].batch_key is not None
+               and queue[0].batch_key == batch[0].batch_key):
+            batch.append(queue.popleft())
+        return batch
+
+
 class FairScheduler:
     """Thread-pool dispatch with admission and tenant fairness."""
 
@@ -151,6 +213,7 @@ class FairScheduler:
         workers: int = 1,
         max_pending: Optional[int] = None,
         max_batch: int = 8,
+        policy: Optional[OrderingPolicy] = None,
     ):
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -162,6 +225,7 @@ class FairScheduler:
         self._run_batch = run_batch
         self.max_pending = max_pending
         self.max_batch = max_batch
+        self.policy = policy if policy is not None else FifoPolicy()
         self._lock = threading.Lock()
         self._work_ready = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
@@ -270,11 +334,11 @@ class FairScheduler:
         if best is None:
             return None
         queue = self._queues[best]
-        batch = [queue.popleft()]
-        while (queue and len(batch) < self.max_batch
-               and batch[0].batch_key is not None
-               and queue[0].batch_key == batch[0].batch_key):
-            batch.append(queue.popleft())
+        batch = self.policy.take_batch(queue, self.max_batch)
+        if not batch:  # pragma: no cover - policy contract violation
+            raise ServiceError(
+                f"{type(self.policy).__name__}.take_batch returned an "
+                f"empty batch from a non-empty queue")
         self._pending -= len(batch)
         self._running += len(batch)
         return batch
@@ -295,13 +359,23 @@ class FairScheduler:
         try:
             outcomes = self._run_batch([job.payload for job in batch])
         except BaseException as error:  # noqa: BLE001 - forwarded to futures
-            return [JobOutcome(error=error) for _ in batch]
+            return self._spread_error(error, len(batch))
         if len(outcomes) != len(batch):  # pragma: no cover - backend bug
             error = ServiceError(
                 f"run_batch returned {len(outcomes)} outcomes "
                 f"for {len(batch)} jobs")
-            return [JobOutcome(error=error) for _ in batch]
+            return self._spread_error(error, len(batch))
         return outcomes
+
+    @staticmethod
+    def _spread_error(error: BaseException, count: int) -> List[JobOutcome]:
+        """Fail a whole batch: the first future gets the original
+        exception, every other future gets its own copy (see
+        :func:`_clone_error`)."""
+        return [
+            JobOutcome(error=error if i == 0 else _clone_error(error))
+            for i in range(count)
+        ]
 
     def _finish(self, batch: List[Job], outcomes: List[JobOutcome]) -> None:
         with self._lock:
@@ -312,15 +386,20 @@ class FairScheduler:
                     self.failed += 1
                 else:
                     self.completed += 1
-            self._running -= len(batch)
-            self._idle.notify_all()
-        # Resolve outside the lock: result() callbacks must never be
-        # able to deadlock against the scheduler.
+        # Resolve outside the lock (result() callbacks must never be
+        # able to deadlock against the scheduler) but BEFORE the batch
+        # stops counting as running: drain() returning while futures
+        # were still unresolved let a drained caller observe
+        # done() == False and the gateway's add_done_callback result
+        # capture miss its window.
         for job, outcome in zip(batch, outcomes):
             if outcome.error is not None:
                 job.future._fail(outcome.error)
             else:
                 job.future._resolve(outcome.value)
+        with self._lock:
+            self._running -= len(batch)
+            self._idle.notify_all()
 
     # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> bool:

@@ -38,6 +38,7 @@ import dataclasses
 import itertools
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -84,6 +85,21 @@ class ServiceStats:
     resident_entries: int = 0
     score_cache_groups: int = 0
     cached_scores: int = 0
+    #: Simulated seconds paid across every Phase-1 build incl. rebuilds.
+    build_seconds: float = 0.0
+    # Cost-based optimizer (DESIGN.md §11).
+    #: The scheduler's ordering policy: ``"fifo"`` or ``"cost"``.
+    ordering: str = "fifo"
+    #: Queries submitted through a WorkloadPlan (submit_plan).
+    planned: int = 0
+    #: Completed queries with an estimated-vs-actual calibration pair.
+    calibration_observed: int = 0
+    #: Sum of predicted Phase-2 ledger seconds over observed queries.
+    estimated_seconds: float = 0.0
+    #: Sum of actual Phase-2 ledger seconds over the same queries.
+    actual_seconds: float = 0.0
+    #: Mean |estimated - actual| / actual over observed queries.
+    calibration_error: float = 0.0
     #: tenant -> accumulated fairness charge (oracle seconds).
     tenants: Dict[str, float] = field(default_factory=dict)
     #: tenant -> reason code -> refused submissions.
@@ -194,11 +210,17 @@ class QueryService:
         score_cache_entries: Optional[int] = None,
         warm_dir=None,
         start_method: Optional[str] = None,
+        ordering: str = "fifo",
+        estimator=None,
     ):
+        if ordering not in ("fifo", "cost"):
+            raise ServiceError(
+                f"ordering must be 'fifo' or 'cost', got {ordering!r}")
         self.workers = resolve_workers(workers)
         if use_processes is None:
             use_processes = self.workers > 1 and available_cpus() > 1
         self.use_processes = bool(use_processes)
+        self.ordering = ordering
         self.artifacts = SharedArtifacts(
             max_entries=artifact_entries,
             score_cache_entries=score_cache_entries,
@@ -219,11 +241,31 @@ class QueryService:
         #: Pool shard-scoring backends, one per submitted corpus.
         self._corpus_backends: Dict[int, object] = {}
         self._closed = False
+        self._planned = 0
+        # The cost estimator calibrates online from completed queries;
+        # with a warm tier configured its history persists alongside
+        # the Phase-1 checkpoints (saved on close, loaded on start).
+        self._estimator = estimator
+        if self._estimator is None and ordering == "cost":
+            from ..optimizer import CostEstimator
+
+            path = None
+            if warm_dir is not None:
+                from pathlib import Path
+
+                path = Path(warm_dir) / "cost_estimator"
+            self._estimator = CostEstimator(path=path)
+        policy = None
+        if ordering == "cost":
+            from ..optimizer import CostOrderedPolicy
+
+            policy = CostOrderedPolicy(self._task_cost)
         self._scheduler = FairScheduler(
             self._run_batch,
             workers=self.workers,
             max_pending=max_pending,
             max_batch=max_batch,
+            policy=policy,
         )
 
     # ------------------------------------------------------------------
@@ -497,6 +539,98 @@ class QueryService:
         return [future.result(timeout) for future in futures]
 
     # ------------------------------------------------------------------
+    # Cost-based workload planning (DESIGN.md §11)
+    # ------------------------------------------------------------------
+    def estimator(self):
+        """The service's :class:`~repro.optimizer.estimator.CostEstimator`.
+
+        Created on first use when the service was not constructed with
+        one (``ordering="cost"`` constructs it eagerly).
+        """
+        if self._estimator is None:
+            from ..optimizer import CostEstimator
+
+            self._estimator = CostEstimator()
+        return self._estimator
+
+    def plan_workload(
+        self,
+        queries: Sequence,
+        *,
+        session: Optional[Session] = None,
+    ):
+        """Plan a set of pending submissions cheapest-first.
+
+        Returns a :class:`~repro.optimizer.planner.WorkloadPlan`:
+        execution order, per-query cost predictions and lane choices,
+        with same-artifact queries grouped so cache-warming queries
+        run before the queries they warm. ``plan.explain()`` renders
+        the decisions; :meth:`submit_plan` executes them.
+        """
+        self._check_open()
+        from ..optimizer import WorkloadPlanner
+
+        planner = WorkloadPlanner(self.estimator(), artifacts=self.artifacts)
+        return planner.plan(
+            queries, session=session, pool_available=self._pool is not None)
+
+    def submit_plan(
+        self,
+        workload_plan,
+        *,
+        tenant: str = "default",
+    ) -> List[QueryFuture]:
+        """Submit a planned workload in its planned order.
+
+        Returns futures aligned with the *original* submission list
+        the plan was built from (``futures[i]`` answers ``queries[i]``
+        no matter where the planner scheduled it).
+        """
+        futures: List[Optional[QueryFuture]] = \
+            [None] * len(workload_plan.items)
+        for item in workload_plan.items:
+            futures[item.index] = self.submit(
+                item.plan, session=item.session, tenant=tenant)
+        with self._lock:
+            self._planned += len(workload_plan.items)
+        return futures  # type: ignore[return-value]
+
+    def _predict(self, session: Session, plan: QueryPlan):
+        """Estimate one task's cost under the current shared state."""
+        from .artifacts import artifact_digest
+
+        group = group_key(session.video, session.scoring)
+        key = phase1_key(plan.config)
+        artifact = (group, key)
+        warm = session.phase1_cached(key=key) \
+            or self.artifacts.resident(artifact)
+        cache = session.shared_score_cache
+        coverage = 0.0
+        if cache is not None and plan.num_tuples > 0:
+            coverage = min(1.0, len(cache) / plan.num_tuples)
+        pool_ok = self._pool is not None \
+            and not hasattr(session, "append")
+        return self._estimator.predict(
+            plan,
+            group=group,
+            digest=artifact_digest(artifact),
+            warm=warm,
+            cache_coverage=coverage,
+            pool_available=pool_ok,
+        )
+
+    def _task_cost(self, payload) -> float:
+        """The scheduler policy's pricing hook (physical seconds).
+
+        Stream refreshes and corpus jobs price as 0.0 — they keep
+        plain FIFO semantics within their tenant.
+        """
+        if not isinstance(payload, _QueryTask) or self._estimator is None:
+            return 0.0
+        return self._predict(
+            payload.session, payload.plan).physical_seconds
+
+    # ------------------------------------------------------------------
     # Execution (called on scheduler worker threads)
     # ------------------------------------------------------------------
     def _run_batch(self, payloads) -> List[JobOutcome]:
@@ -522,8 +656,23 @@ class QueryService:
         return JobOutcome(value=value, charge=fresh * confirm_unit)
 
     def _run_queries(self, tasks: List[_QueryTask]) -> List[JobOutcome]:
+        from .artifacts import artifact_digest
+
         session = tasks[0].session
         outcomes: List[JobOutcome] = []
+        estimator = self._estimator
+        # Predict before touching the shared store: the estimator must
+        # see the same warm/cold state the policy priced, so the
+        # calibration pair reflects the decision actually made.
+        predictions = None
+        if estimator is not None:
+            try:
+                predictions = [
+                    self._predict(task.session, task.plan)
+                    for task in tasks
+                ]
+            except Exception:  # noqa: BLE001 - prediction is advisory
+                predictions = None
         # Phase 1 first: single-flight through the shared store (the
         # batch shares one artifact by construction of batch_key).
         try:
@@ -533,6 +682,13 @@ class QueryService:
             ]
         except BaseException as error:  # noqa: BLE001 - to the futures
             return [JobOutcome(error=error) for _ in tasks]
+        group = group_key(session.video, session.scoring)
+        if estimator is not None and entries:
+            # One artifact per batch by construction of batch_key.
+            estimator.observe_build(
+                artifact_digest((group, phase1_key(tasks[0].plan.config))),
+                entries[0][1].cost_model,
+            )
 
         details: List[Optional[ExecutionDetail]] = []
         errors: List[Optional[BaseException]] = []
@@ -541,8 +697,15 @@ class QueryService:
         # stream's video advances between appends — a worker would
         # answer over a stale watermark while the inline lane answers
         # over the live one. Batch sessions are immutable snapshots, so
-        # only they may ship.
-        if self._pool is not None and not hasattr(session, "append"):
+        # only they may ship. The estimator can route a batch whose
+        # predicted Phase-2 work does not clear the pool's observed
+        # overhead back inline (lane never changes report bytes).
+        use_pool = self._pool is not None and not hasattr(session, "append")
+        if use_pool and predictions is not None:
+            use_pool = any(p.lane == "process" for p in predictions)
+        lane = "process" if use_pool else "inline"
+        started = time.perf_counter()
+        if use_pool:
             try:
                 details = list(self._execute_remote(
                     session, [task.plan for task in tasks], entries))
@@ -559,13 +722,26 @@ class QueryService:
                 except BaseException as error:  # noqa: BLE001
                     details.append(None)
                     errors.append(error)
+        elapsed = time.perf_counter() - started
+        per_query_wall = elapsed / len(tasks) if tasks else 0.0
 
-        for task, detail, error in zip(tasks, details, errors):
+        for index, (task, detail, error) in enumerate(
+                zip(tasks, details, errors)):
             if error is not None or detail is None:
                 outcomes.append(JobOutcome(
                     error=error if error is not None
                     else ServiceError("query produced no result")))
                 continue
+            if estimator is not None:
+                estimator.observe_query(
+                    task.plan,
+                    group=group,
+                    phase2_cost=detail.phase2_cost,
+                    wall_seconds=per_query_wall,
+                    lane=lane,
+                    predicted=predictions[index]
+                    if predictions is not None else None,
+                )
             outcome = QueryOutcome(
                 tenant=task.tenant,
                 report=detail.report,
@@ -649,6 +825,17 @@ class QueryService:
         keeps working for callers written against the old dict.
         """
         snapshot = self.artifacts.snapshot()
+        calibration = {}
+        if self._estimator is not None:
+            cal = self._estimator.calibration()
+            calibration = dict(
+                calibration_observed=cal.observed,
+                estimated_seconds=cal.estimated_seconds,
+                actual_seconds=cal.actual_seconds,
+                calibration_error=cal.mean_abs_relative_error,
+            )
+        with self._lock:
+            planned = self._planned
         return ServiceStats(
             submitted=self._scheduler.submitted,
             completed=self._scheduler.completed,
@@ -659,10 +846,13 @@ class QueryService:
             use_processes=self.use_processes,
             tenants=self.tenant_charges(),
             rejections=self._scheduler.rejections(),
+            ordering=self.ordering,
+            planned=planned,
+            **calibration,
             **{key: snapshot[key] for key in (
                 "builds", "hits", "single_flight_waits", "warm_hits",
                 "warm_writes", "evictions", "resident_entries",
-                "score_cache_groups", "cached_scores")},
+                "score_cache_groups", "cached_scores", "build_seconds")},
         )
 
     # ------------------------------------------------------------------
@@ -684,6 +874,11 @@ class QueryService:
         self._scheduler.close(wait=True)
         if self._pool is not None:
             self._pool.shutdown()
+        if self._estimator is not None and self._estimator.path is not None:
+            try:
+                self._estimator.save()
+            except Exception:  # noqa: BLE001 - persistence best-effort
+                pass
         with self._lock:
             for session in self._sessions.values():
                 if getattr(session, "refresh_dispatcher", None) is not None:

@@ -1,0 +1,405 @@
+"""Tests for the cost-based multi-query optimizer (DESIGN.md §11).
+
+Each layer in isolation — the ledger-calibrated
+:class:`~repro.optimizer.estimator.CostEstimator`, the
+shared-artifact-aware :class:`~repro.optimizer.planner.WorkloadPlanner`
+and the scheduler-side
+:class:`~repro.optimizer.policy.CostOrderedPolicy` — plus the service
+integration contract: ``ordering="cost"`` changes *when* work runs and
+what it physically costs, never the bytes of any report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EverestConfig, QueryService, Session
+from repro.api.session import estimate_phase1_seconds, phase1_key
+from repro.errors import QueryError, ServiceError
+from repro.optimizer import (
+    CostEstimator,
+    CostOrderedPolicy,
+    WorkloadPlanner,
+)
+from repro.oracle.cost import CostModel
+from repro.service.artifacts import artifact_digest, group_key
+from repro.service.scheduler import Job, QueryFuture
+from repro.video import TrafficVideo
+
+CONFIG = EverestConfig.fast()
+
+
+def _session(name="opt", seed=11, frames=400):
+    return Session.open(
+        TrafficVideo(name, frames, seed=seed), "count[car]", config=CONFIG)
+
+
+def _plan(session, k=3):
+    return session.query().topk(k).guarantee(0.9).plan()
+
+
+# ----------------------------------------------------------------------
+# CostEstimator
+
+
+class TestCostEstimator:
+    def test_cold_prediction_uses_phase1_prior(self):
+        session = _session()
+        plan = _plan(session)
+        estimator = CostEstimator()
+        pred = estimator.predict(
+            plan, group="g", digest="d", warm=False)
+        assert pred.phase1_seconds == pytest.approx(
+            estimate_phase1_seconds(
+                plan.num_frames, plan.unit_costs, plan.config))
+        assert not pred.phase1_warm
+        assert pred.lane == "inline"
+        assert pred.physical_seconds > pred.phase2_seconds
+
+    def test_warm_prediction_charges_no_phase1(self):
+        session = _session()
+        plan = _plan(session)
+        estimator = CostEstimator()
+        pred = estimator.predict(plan, group="g", digest="d", warm=True)
+        assert pred.phase1_seconds == 0.0
+        assert pred.phase1_warm
+        assert pred.physical_seconds == pytest.approx(
+            pred.phase2_seconds * pred.fresh_fraction)
+
+    def test_build_history_replaces_prior(self):
+        session = _session()
+        plan = _plan(session)
+        estimator = CostEstimator()
+        ledger = CostModel(plan.unit_costs, wall_clock=False)
+        ledger.add_seconds("cmdn_train", 12.5)
+        estimator.observe_build("d", ledger)
+        pred = estimator.predict(plan, group="g", digest="d", warm=False)
+        assert pred.phase1_seconds == pytest.approx(12.5)
+
+    def test_query_history_replaces_confirm_prior(self):
+        session = _session()
+        plan = _plan(session)
+        estimator = CostEstimator()
+        cold = estimator.predict(plan, group="g", digest="d", warm=True)
+        ledger = CostModel(plan.unit_costs, wall_clock=False)
+        ledger.charge("oracle_confirm", 7)
+        estimator.observe_query(
+            plan, group="g", phase2_cost=ledger,
+            wall_seconds=0.1, lane="inline", predicted=cold)
+        warmed = estimator.predict(plan, group="g", digest="d", warm=True)
+        assert warmed.confirm_calls == pytest.approx(7)
+        assert warmed.confirm_calls != cold.confirm_calls
+
+    def test_calibration_tracks_estimate_vs_actual(self):
+        session = _session()
+        plan = _plan(session)
+        estimator = CostEstimator()
+        pred = estimator.predict(plan, group="g", digest="d", warm=True)
+        ledger = CostModel(plan.unit_costs, wall_clock=False)
+        ledger.charge("oracle_confirm", 10)
+        estimator.observe_query(
+            plan, group="g", phase2_cost=ledger,
+            wall_seconds=0.1, lane="inline", predicted=pred)
+        cal = estimator.calibration()
+        assert cal.observed == 1
+        assert cal.estimated_seconds == pytest.approx(pred.phase2_seconds)
+        assert cal.actual_seconds == pytest.approx(ledger.total_seconds())
+        assert cal.mean_abs_relative_error >= 0.0
+
+    def test_cache_coverage_scales_physical_cost(self):
+        session = _session()
+        plan = _plan(session)
+        estimator = CostEstimator()
+        dry = estimator.predict(plan, group="g", digest="d", warm=True)
+        half = estimator.predict(
+            plan, group="g", digest="d", warm=True, cache_coverage=0.5)
+        assert half.fresh_fraction == pytest.approx(0.5)
+        assert half.physical_seconds == pytest.approx(
+            dry.physical_seconds / 2)
+        # Ledger view is untouched: coverage saves physical work only.
+        assert half.phase2_seconds == pytest.approx(dry.phase2_seconds)
+
+    def test_lane_choice_clears_overhead(self):
+        session = _session()
+        plan = _plan(session)
+        estimator = CostEstimator()
+        assert estimator.predict(
+            plan, group="g", digest="d", warm=True,
+            pool_available=False).lane == "inline"
+        heavy = estimator.predict(
+            plan, group="g", digest="d", warm=True, pool_available=True)
+        assert heavy.lane == "process"  # prior confirms dwarf overhead
+        assert estimator.predict(
+            plan, group="g", digest="d", warm=True, cache_coverage=1.0,
+            pool_available=True).lane == "inline"
+
+    def test_persistence_round_trip(self, tmp_path):
+        session = _session()
+        plan = _plan(session)
+        target = tmp_path / "estimator"
+        first = CostEstimator(path=target)
+        ledger = CostModel(plan.unit_costs, wall_clock=False)
+        ledger.charge("oracle_confirm", 9)
+        pred = first.predict(plan, group="g", digest="d", warm=True)
+        first.observe_query(
+            plan, group="g", phase2_cost=ledger,
+            wall_seconds=0.2, lane="inline", predicted=pred)
+        first.observe_build("d", ledger)
+        first.save()
+
+        second = CostEstimator(path=target)
+        assert second.calibration() == first.calibration()
+        again = second.predict(plan, group="g", digest="d", warm=False)
+        assert again.phase1_seconds == pytest.approx(
+            ledger.total_seconds())
+        assert again.confirm_calls == pytest.approx(9)
+
+    def test_missing_checkpoint_is_a_cold_start(self, tmp_path):
+        estimator = CostEstimator(path=tmp_path / "never-written")
+        assert estimator.calibration().observed == 0
+        with pytest.raises(ValueError):
+            CostEstimator().save()
+
+
+# ----------------------------------------------------------------------
+# CostOrderedPolicy
+
+
+def _jobs(specs):
+    """Jobs from (cost, batch_key) pairs; payload carries the cost."""
+    from collections import deque
+
+    queue = deque()
+    for seq, (cost, key) in enumerate(specs):
+        queue.append(Job(
+            seq=seq, tenant="t", batch_key=key,
+            payload=cost, future=QueryFuture(seq, "t")))
+    return queue
+
+
+class TestCostOrderedPolicy:
+    def test_cheapest_job_leads(self):
+        policy = CostOrderedPolicy(float)
+        queue = _jobs([(5.0, "a"), (1.0, "b"), (3.0, "c")])
+        batch = policy.take_batch(queue, max_batch=8)
+        assert [job.payload for job in batch] == [1.0]
+        assert [job.payload for job in queue] == [5.0, 3.0]
+
+    def test_gathers_same_key_beyond_adjacency(self):
+        policy = CostOrderedPolicy(float)
+        # a and b interleaved: FIFO adjacency would batch one at a
+        # time; the cost policy gathers all of the lead's key.
+        queue = _jobs([(2.0, "a"), (9.0, "b"), (2.5, "a"), (8.0, "b")])
+        batch = policy.take_batch(queue, max_batch=8)
+        assert [job.batch_key for job in batch] == ["a", "a"]
+        assert [job.payload for job in batch] == [2.0, 2.5]
+        assert [job.batch_key for job in queue] == ["b", "b"]
+
+    def test_max_batch_bounds_the_gather(self):
+        policy = CostOrderedPolicy(float)
+        queue = _jobs([(1.0, "a")] * 5)
+        batch = policy.take_batch(queue, max_batch=3)
+        assert len(batch) == 3
+        assert len(queue) == 2
+
+    def test_none_batch_key_never_gathers(self):
+        policy = CostOrderedPolicy(float)
+        queue = _jobs([(1.0, None), (2.0, None)])
+        batch = policy.take_batch(queue, max_batch=8)
+        assert len(batch) == 1
+
+    def test_cost_failure_degrades_to_fifo(self):
+        def broken(payload):
+            raise RuntimeError("no price")
+
+        policy = CostOrderedPolicy(broken)
+        queue = _jobs([(7.0, "a"), (1.0, "b")])
+        batch = policy.take_batch(queue, max_batch=8)
+        # Every job prices 0.0; seq breaks the tie -> submission order.
+        assert [job.seq for job in batch] == [0]
+
+    def test_equal_costs_keep_submission_order(self):
+        policy = CostOrderedPolicy(lambda payload: 1.0)
+        queue = _jobs([(1.0, "a"), (1.0, "b"), (1.0, "c")])
+        batch = policy.take_batch(queue, max_batch=8)
+        assert [job.seq for job in batch] == [0]
+
+
+# ----------------------------------------------------------------------
+# WorkloadPlanner
+
+
+class TestWorkloadPlanner:
+    def test_groups_same_artifact_consecutively(self):
+        session = _session()
+        other = Session.open(
+            TrafficVideo("opt-b", 400, seed=12), "count[car]",
+            config=CONFIG)
+        queries = [
+            session.query().topk(3).guarantee(0.9),
+            other.query().topk(3).guarantee(0.9),
+            session.query().topk(5).guarantee(0.9),
+            other.query().topk(5).guarantee(0.9),
+        ]
+        plan = WorkloadPlanner(CostEstimator()).plan(queries)
+        digests = [item.digest for item in plan.items]
+        # Two groups, each contiguous.
+        assert len(set(digests)) == 2
+        assert digests[0] == digests[1] and digests[2] == digests[3]
+        assert sorted(plan.order()) == [0, 1, 2, 3]
+
+    def test_only_group_head_pays_the_build(self):
+        session = _session()
+        queries = [
+            session.query().topk(5).guarantee(0.9),
+            session.query().topk(3).guarantee(0.9),
+        ]
+        plan = WorkloadPlanner(CostEstimator()).plan(queries)
+        head, tail = plan.items
+        assert not head.prediction.phase1_warm
+        assert head.prediction.phase1_seconds > 0
+        assert tail.prediction.phase1_warm
+        assert tail.prediction.phase1_seconds == 0.0
+        # Cheapest Phase 2 leads (k=3 confirms less under the prior).
+        assert head.plan.k == 3
+
+    def test_session_pinned_artifact_plans_warm(self):
+        session = _session()
+        session.phase1(CONFIG)  # pin the artifact in the session
+        plan = WorkloadPlanner(CostEstimator()).plan(
+            [session.query().topk(3).guarantee(0.9)])
+        assert plan.items[0].prediction.phase1_warm
+
+    def test_compiled_plan_needs_session(self):
+        session = _session()
+        compiled = _plan(session)
+        planner = WorkloadPlanner(CostEstimator())
+        with pytest.raises(QueryError):
+            planner.plan([compiled])
+        plan = planner.plan([compiled], session=session)
+        assert plan.items[0].plan is compiled
+
+    def test_explain_renders_every_item(self):
+        session = _session()
+        plan = WorkloadPlanner(CostEstimator()).plan(
+            [session.query().topk(3).guarantee(0.9)])
+        text = plan.explain()
+        assert "WorkloadPlan: 1 queries" in text
+        assert "top-3@0.9" in text
+        assert "physical" in text
+
+    def test_plan_explain_accepts_estimate(self):
+        session = _session()
+        compiled = _plan(session)
+        pred = CostEstimator().predict(
+            compiled, group="g", digest="d", warm=False)
+        text = compiled.explain(estimate=pred)
+        assert "optimizer:" in text
+        assert "cold" in text
+        assert compiled.explain().count("\n") == text.count("\n") - 1
+
+
+# ----------------------------------------------------------------------
+# Service integration
+
+
+class TestServiceIntegration:
+    def _queries(self, service, frames=400):
+        sessions = [
+            service.open_session(
+                TrafficVideo(name, frames, seed=seed), "count[car]",
+                config=CONFIG)
+            for name, seed in (("int-a", 21), ("int-b", 22))
+        ]
+        # Interleave artifacts so FIFO order alternates between them.
+        return [
+            sessions[i % 2].query().topk(3 + 2 * (i // 2)).guarantee(0.9)
+            for i in range(4)
+        ]
+
+    def test_rejects_unknown_ordering(self):
+        with pytest.raises(ServiceError):
+            QueryService(workers=1, ordering="priority")
+
+    def test_cost_ordering_matches_fifo_bytes(self):
+        with QueryService(workers=1, use_processes=False) as fifo:
+            baseline = [
+                r.to_json()
+                for r in fifo.gather(
+                    [fifo.submit(q) for q in self._queries(fifo)])
+            ]
+        with QueryService(
+                workers=1, use_processes=False, ordering="cost") as cost:
+            queries = self._queries(cost)
+            wplan = cost.plan_workload(queries)
+            reports = cost.gather(cost.submit_plan(wplan))
+            optimized = [r.to_json() for r in reports]
+        assert optimized == baseline
+
+    def test_submit_plan_aligns_futures_with_submission_order(self):
+        with QueryService(
+                workers=1, use_processes=False, ordering="cost") as service:
+            queries = self._queries(service)
+            wplan = service.plan_workload(queries)
+            # The interleaved submission reorders into contiguous
+            # artifact groups: a permutation, not the identity.
+            assert sorted(wplan.order()) == list(range(len(queries)))
+            assert wplan.order() != list(range(len(queries)))
+            reports = service.gather(service.submit_plan(wplan))
+            # futures[i] answers queries[i]: k values line up.
+            for query, report in zip(queries, reports):
+                assert report.k == query.plan().k
+
+    def test_stats_surface_optimizer_fields(self):
+        with QueryService(
+                workers=1, use_processes=False, ordering="cost") as service:
+            queries = self._queries(service)
+            service.gather(
+                service.submit_plan(service.plan_workload(queries)))
+            stats = service.stats()
+            assert stats.ordering == "cost"
+            assert stats.planned == len(queries)
+            assert stats.calibration_observed == len(queries)
+            assert stats.estimated_seconds > 0
+            assert stats.actual_seconds > 0
+            assert stats.build_seconds > 0
+            payload = stats.as_dict()
+            for field in ("ordering", "planned", "calibration_observed",
+                          "estimated_seconds", "actual_seconds",
+                          "calibration_error", "build_seconds"):
+                assert field in payload
+
+    def test_fifo_service_reports_fifo_stats(self):
+        with QueryService(workers=1, use_processes=False) as service:
+            stats = service.stats()
+            assert stats.ordering == "fifo"
+            assert stats.planned == 0
+            assert stats.calibration_observed == 0
+
+    def test_estimator_persists_through_warm_dir(self, tmp_path):
+        video = TrafficVideo("persist", 400, seed=23)
+        with QueryService(
+                workers=1, use_processes=False, ordering="cost",
+                warm_dir=tmp_path) as service:
+            session = service.open_session(
+                video, "count[car]", config=CONFIG)
+            service.submit(
+                session.query().topk(3).guarantee(0.9)).result(60)
+        reborn = CostEstimator(path=tmp_path / "cost_estimator")
+        assert reborn.calibration().observed == 1
+
+    def test_calibration_improves_with_history(self):
+        """The second identical query predicts from observed ledgers."""
+        with QueryService(
+                workers=1, use_processes=False, ordering="cost") as service:
+            session = service.open_session(
+                TrafficVideo("cal", 400, seed=24), "count[car]",
+                config=CONFIG)
+            query = session.query().topk(3).guarantee(0.9)
+            first = service.submit(query)
+            first.result(60)
+            plan = query.plan()
+            pred = service._predict(session, plan)
+            actual = service.outcomes()[0].phase2_cost.total_seconds()
+            assert pred.phase2_seconds == pytest.approx(actual)
+            assert pred.phase1_warm  # the artifact is now resident

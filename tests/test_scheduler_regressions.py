@@ -1,0 +1,350 @@
+"""Regression tests for scheduler/ledger correctness fixes.
+
+Three bugs, each pinned by a test that fails on the pre-fix code:
+
+* ``FairScheduler.drain()`` could return before the finished batch's
+  futures were resolved (the worker decremented ``_running`` first,
+  resolved after) — a drained caller could observe ``done() == False``
+  and a ``add_done_callback`` hook could miss its window.
+* A failed batch fanned one exception *instance* to every future;
+  concurrent ``result()`` re-raises then mutated the shared
+  ``__traceback__`` across callers.
+* ``merge_cost_models()`` always produced a ``wall_clock=True`` model,
+  so merging all-deterministic ledgers silently lost the determinism
+  flag downstream folds rely on.
+
+Plus the starvation property: under sustained, wildly unequal charges
+every tenant's queue drains in bounded turns (and in FIFO order within
+each tenant).
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AdmissionError
+from repro.oracle.cost import CostModel, merge_cost_models
+from repro.service.scheduler import (
+    FairScheduler,
+    FifoPolicy,
+    JobOutcome,
+    QueryFuture,
+    _clone_error,
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def ok_batch(payloads):
+    return [JobOutcome(value=p, charge=0.0) for p in payloads]
+
+
+class GatedRunner:
+    """run_batch that parks the worker on a primer payload.
+
+    Lets a test enqueue jobs *behind* a busy single worker so batch
+    formation and dispatch order are deterministic, then release the
+    gate and observe what the scheduler did.
+    """
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.batches = []
+        self._lock = threading.Lock()
+
+    def __call__(self, payloads):
+        if payloads[0] == "primer":
+            self.entered.set()
+            assert self.release.wait(10)
+            return [JobOutcome(value="primer")]
+        with self._lock:
+            self.batches.append(list(payloads))
+        return [
+            JobOutcome(value=p, charge=float(p[1]))
+            for p in payloads
+        ]
+
+
+class TestDrainResolvesFutures:
+    def test_drain_implies_done_even_with_slow_resolve(self, monkeypatch):
+        """drain() must not return while futures are still resolving.
+
+        A delay injected into ``_resolve`` widens the old race window
+        (decrement ``_running`` before resolving) from microseconds to
+        50ms — pre-fix, drain() returns with ``done() == False``.
+        """
+        original = QueryFuture._resolve
+
+        def slow_resolve(self, value):
+            time.sleep(0.05)
+            original(self, value)
+
+        monkeypatch.setattr(QueryFuture, "_resolve", slow_resolve)
+        scheduler = FairScheduler(ok_batch, workers=2)
+        try:
+            futures = [scheduler.submit(i) for i in range(6)]
+            assert scheduler.drain(timeout=10)
+            for future in futures:
+                assert future.done()
+                assert future.result(0) == future.seq
+        finally:
+            scheduler.close()
+
+    def test_drain_implies_callbacks_fired(self, monkeypatch):
+        """The gateway's completion hook must not miss its window."""
+        original = QueryFuture._resolve
+
+        def slow_resolve(self, value):
+            time.sleep(0.05)
+            original(self, value)
+
+        monkeypatch.setattr(QueryFuture, "_resolve", slow_resolve)
+        scheduler = FairScheduler(ok_batch, workers=1)
+        fired = []
+        try:
+            future = scheduler.submit("job")
+            future.add_done_callback(lambda f: fired.append(f.seq))
+            assert scheduler.drain(timeout=10)
+            assert fired == [future.seq]
+        finally:
+            scheduler.close()
+
+    def test_drain_implies_done_on_failure(self, monkeypatch):
+        original = QueryFuture._fail
+
+        def slow_fail(self, error):
+            time.sleep(0.05)
+            original(self, error)
+
+        monkeypatch.setattr(QueryFuture, "_fail", slow_fail)
+
+        def boom(payloads):
+            raise RuntimeError("nope")
+
+        scheduler = FairScheduler(boom, workers=1)
+        try:
+            future = scheduler.submit("job")
+            assert scheduler.drain(timeout=10)
+            assert future.done()
+            assert isinstance(future.exception(0), RuntimeError)
+        finally:
+            scheduler.close()
+
+
+class TestBatchErrorIsolation:
+    def _failed_batch_futures(self, error, count=3):
+        """Submit ``count`` same-batch_key jobs that fail as one batch."""
+        runner = GatedRunner()
+
+        def run(payloads):
+            if payloads[0] == "primer":
+                return runner(payloads)
+            raise error
+
+        scheduler = FairScheduler(run, workers=1, max_batch=count)
+        try:
+            primer = scheduler.submit("primer")
+            assert runner.entered.wait(10)
+            futures = [
+                scheduler.submit(("job", 0.0), batch_key="shared")
+                for _ in range(count)
+            ]
+            runner.release.set()
+            assert scheduler.drain(timeout=10)
+            assert primer.result(0) == "primer"
+            return [f.exception(0) for f in futures]
+        finally:
+            scheduler.close()
+
+    def test_each_future_gets_its_own_instance(self):
+        errors = self._failed_batch_futures(ValueError("bad batch", 42))
+        assert all(e is not None for e in errors)
+        # Distinct instances, identical type and args.
+        assert len({id(e) for e in errors}) == len(errors)
+        for e in errors:
+            assert type(e) is ValueError
+            assert e.args == ("bad batch", 42)
+
+    def test_attribute_state_is_preserved(self):
+        original = AdmissionError(
+            "too much", reason="max_pending", tenant="alice")
+        errors = self._failed_batch_futures(original)
+        for e in errors:
+            assert type(e) is AdmissionError
+            assert e.reason == "max_pending"
+            assert e.tenant == "alice"
+
+    def test_concurrent_reraise_does_not_cross_contaminate(self):
+        errors = self._failed_batch_futures(RuntimeError("shared?"), count=4)
+
+        tracebacks = []
+
+        def reraise(error):
+            try:
+                raise error
+            except RuntimeError as caught:
+                tracebacks.append(caught.__traceback__)
+
+        threads = [
+            threading.Thread(target=reraise, args=(e,)) for e in errors]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each future re-raised independently: no two futures share an
+        # exception object, so no raise mutated a sibling's traceback.
+        assert len({id(e) for e in errors}) == len(errors)
+        assert len(tracebacks) == len(errors)
+
+    def test_clone_error_falls_back_on_uncopyable(self):
+        class Stubborn(Exception):
+            def __reduce_ex__(self, protocol):
+                raise TypeError("not copyable")
+
+        original = Stubborn("x")
+        assert _clone_error(original) is original
+
+
+class TestMergeWallClockPropagation:
+    def _model(self, *, wall_clock):
+        model = CostModel({"oracle_confirm": 0.1}, wall_clock=wall_clock)
+        model.charge("oracle_confirm", 3)
+        return model
+
+    def test_all_deterministic_inputs_merge_deterministic(self):
+        merged = merge_cost_models([
+            self._model(wall_clock=False),
+            self._model(wall_clock=False),
+        ])
+        assert merged.wall_clock is False
+        assert merged.units("oracle_confirm") == 6
+
+    def test_any_wall_clock_input_taints_the_merge(self):
+        merged = merge_cost_models([
+            self._model(wall_clock=False),
+            self._model(wall_clock=True),
+        ])
+        assert merged.wall_clock is True
+
+    def test_empty_merge_stays_wall_clock(self):
+        assert merge_cost_models([]).wall_clock is True
+
+    def test_explicit_override_wins(self):
+        merged = merge_cost_models(
+            [self._model(wall_clock=True)], wall_clock=False)
+        assert merged.wall_clock is False
+
+    def test_deterministic_merge_roundtrip(self):
+        """A deterministic merge re-merges bit-identically."""
+        parts = [self._model(wall_clock=False) for _ in range(4)]
+        once = merge_cost_models(parts)
+        twice = merge_cost_models(parts)
+        assert once.wall_clock is False and twice.wall_clock is False
+        assert once.breakdown() == twice.breakdown()
+
+
+class TestNoStarvation:
+    @SETTINGS
+    @given(
+        workload=st.dictionaries(
+            keys=st.sampled_from(["alice", "bob", "carol", "dave"]),
+            values=st.lists(
+                st.floats(0.0, 100.0), min_size=1, max_size=6),
+            min_size=2,
+            max_size=4,
+        ),
+    )
+    def test_unequal_charges_never_starve_a_tenant(self, workload):
+        """Every tenant's queue drains under sustained unequal charges.
+
+        Jobs are enqueued behind a parked worker so the scheduler sees
+        all tenants at once; each job's payload carries the fairness
+        charge it will report. However lopsided the charges, drain
+        completes bounded by total work and each tenant's own jobs run
+        in FIFO order.
+        """
+        runner = GatedRunner()
+        scheduler = FairScheduler(runner, workers=1, max_batch=1)
+        try:
+            primer = scheduler.submit("primer", tenant="primer")
+            assert runner.entered.wait(10)
+            futures = {
+                tenant: [
+                    scheduler.submit((f"{tenant}:{i}", charge),
+                                     tenant=tenant)
+                    for i, charge in enumerate(charges)
+                ]
+                for tenant, charges in workload.items()
+            }
+            runner.release.set()
+            total = sum(len(v) for v in futures.values())
+            assert scheduler.drain(timeout=30), \
+                f"drain stalled with {total} jobs queued"
+            assert primer.done()
+            executed = [p[0] for batch in runner.batches for p in batch]
+            assert len(executed) == total
+            for tenant, tenant_futures in futures.items():
+                for future in tenant_futures:
+                    assert future.done()
+                mine = [
+                    name for name in executed
+                    if name.startswith(f"{tenant}:")
+                ]
+                assert mine == sorted(
+                    mine, key=lambda n: int(n.split(":")[1])), \
+                    f"{tenant} ran out of FIFO order: {mine}"
+        finally:
+            scheduler.close()
+
+    def test_least_charged_tenant_runs_first(self):
+        runner = GatedRunner()
+        scheduler = FairScheduler(runner, workers=1, max_batch=1)
+        try:
+            scheduler.submit("primer", tenant="primer")
+            assert runner.entered.wait(10)
+            # heavy charges 50 per job, light charges nothing: after
+            # heavy's first completion its deficit dwarfs light's, so
+            # light's whole queue must drain before heavy's second job.
+            heavy = [
+                scheduler.submit(("heavy:%d" % i, 50.0), tenant="heavy")
+                for i in range(2)
+            ]
+            light = [
+                scheduler.submit(("light:%d" % i, 0.0), tenant="light")
+                for i in range(3)
+            ]
+            runner.release.set()
+            assert scheduler.drain(timeout=10)
+            executed = [p[0] for batch in runner.batches for p in batch]
+            assert executed.index("heavy:1") > executed.index("light:2")
+            for future in heavy + light:
+                assert future.done()
+        finally:
+            scheduler.close()
+
+
+class TestFifoPolicyContract:
+    def test_adjacent_same_key_jobs_batch(self):
+        runner = GatedRunner()
+        scheduler = FairScheduler(runner, workers=1, max_batch=8)
+        assert isinstance(scheduler.policy, FifoPolicy)
+        try:
+            scheduler.submit("primer", tenant="primer")
+            assert runner.entered.wait(10)
+            for i in range(3):
+                scheduler.submit((f"a:{i}", 0.0), batch_key="k1")
+            scheduler.submit(("b:0", 0.0), batch_key="k2")
+            runner.release.set()
+            assert scheduler.drain(timeout=10)
+            sizes = sorted(len(b) for b in runner.batches)
+            assert sizes == [1, 3]
+        finally:
+            scheduler.close()
