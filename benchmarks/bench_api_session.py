@@ -10,7 +10,12 @@ from repro.api import Session
 from repro.experiments.runner import config_for, counting_videos
 from repro.oracle import counting_udf
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_session_sweep_builds_phase1_once(bench_scale, benchmark):
@@ -24,6 +29,13 @@ def test_session_sweep_builds_phase1_once(bench_scale, benchmark):
         return [base.topk(k).run() for k in (5, 25, 50)]
 
     reports = run_once(benchmark, sweep)
+    write_bench_result(
+        "api_session",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        phase1_runs=session.phase1_runs,
+        sweep_reports=len(reports),
+    )
     assert session.phase1_runs == 1
     assert len(reports) == 3
     for report in reports:

@@ -14,13 +14,27 @@ import numpy as np
 
 from repro.experiments import fig4
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_fig4_overall(bench_scale, bench_strict, benchmark):
     records = run_once(benchmark, fig4.run, bench_scale)
     print()
     print(fig4.render(records))
+    write_bench_result(
+        "fig4",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        records=len(records),
+        mean_everest_precision=float(np.mean([
+            r.metrics.precision for r in records
+            if r.method.startswith("everest")])),
+    )
 
     by_method = {}
     for record in records:

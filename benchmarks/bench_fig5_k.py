@@ -10,7 +10,12 @@ import numpy as np
 from repro.experiments import fig5
 from repro.experiments.runner import counting_videos
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_fig5_impact_of_k(bench_scale, benchmark):
@@ -20,6 +25,15 @@ def test_fig5_impact_of_k(bench_scale, benchmark):
         ks=(5, 25, 50, 100), videos=videos)
     print()
     print(fig5.render(records))
+    write_bench_result(
+        "fig5",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        margin=float(min(
+            r.metrics.precision for r in records)) - 0.7,
+        records=len(records),
+        mean_speedup=float(np.mean([r.speedup for r in records])),
+    )
 
     assert len(records) == 8
     for record in records:

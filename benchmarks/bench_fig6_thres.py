@@ -9,7 +9,12 @@ far less than the threshold tightening would naively suggest.
 from repro.experiments import fig6
 from repro.experiments.runner import counting_videos
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_fig6_impact_of_thres(bench_scale, benchmark):
@@ -19,6 +24,13 @@ def test_fig6_impact_of_thres(bench_scale, benchmark):
         thresholds=(0.5, 0.9, 0.99), videos=videos)
     print()
     print(fig6.render(records))
+    write_bench_result(
+        "fig6",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        records=len(records),
+        thresholds=[0.5, 0.9, 0.99],
+    )
 
     for video in {r.video for r in records}:
         rows = {r.thres: r for r in records if r.video == video}

@@ -8,7 +8,12 @@ choices and more frames confirmed per cleaning).
 from repro.experiments import fig7
 from repro.experiments.runner import counting_videos
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_fig7_windows(bench_scale, benchmark):
@@ -18,6 +23,13 @@ def test_fig7_windows(bench_scale, benchmark):
         window_sizes=(1, 10, 30), k=20, videos=videos)
     print()
     print(fig7.render(records))
+    write_bench_result(
+        "fig7",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        records=len(records),
+        window_sizes=[1, 10, 30],
+    )
 
     assert records, "at least one window configuration must fit"
     for record in records:

@@ -8,7 +8,12 @@ import numpy as np
 
 from repro.experiments import fig8
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_fig8_density(bench_scale, benchmark):
@@ -16,6 +21,13 @@ def test_fig8_density(bench_scale, benchmark):
         benchmark, fig8.run, bench_scale, densities=(50, 150, 250))
     print()
     print(fig8.render(records))
+    write_bench_result(
+        "fig8",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        records=len(records),
+        speedups=[float(r.speedup) for r in records],
+    )
 
     assert len(records) == 3
     speedups = [r.speedup for r in records]

@@ -6,13 +6,25 @@ high precision with a material speedup in each.
 
 from repro.experiments import fig9
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_fig9_udf(bench_scale, bench_strict, benchmark):
     records = run_once(benchmark, fig9.run, bench_scale)
     print()
     print(fig9.render(records))
+    write_bench_result(
+        "fig9",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        records=len(records),
+        scenarios=sorted({r.extras["scenario"] for r in records}),
+    )
 
     assert len(records) >= 4  # 2 videos x at least 2 feasible scenarios
     for record in records:

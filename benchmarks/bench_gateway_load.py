@@ -25,10 +25,8 @@ The machine-readable summary lands in ``results/BENCH_gateway.json``
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.api.registry import resolve_query_spec
 from repro.config import EverestConfig
@@ -48,7 +46,7 @@ from repro.gateway.loadgen import (
     run_plan,
 )
 
-from bench_util import available_cpus
+from bench_util import available_cpus, write_bench_result
 
 #: Query specs in popularity order; one corpus spec in the mix so the
 #: federated path is exercised on the wire too.
@@ -115,14 +113,6 @@ def _reference_reports(report) -> dict:
             target.query().topk(k).guarantee(guarantee)
             .deterministic_timing().run().to_json())
     return references
-
-
-def _out_path() -> Path:
-    override = os.environ.get("REPRO_BENCH_GATEWAY_JSON", "").strip()
-    if override:
-        return Path(override)
-    return Path(__file__).resolve().parent.parent / "results" \
-        / "BENCH_gateway.json"
 
 
 def test_gateway_load(bench_scale, bench_strict, benchmark=None):
@@ -284,32 +274,31 @@ def test_gateway_load(bench_scale, bench_strict, benchmark=None):
         title=f"Gateway load: {spec.num_queries} queries, "
               f"{spec.num_tenants} tenants, {available_cpus()} CPUs"))
 
-    out = _out_path()
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps({
-        "bench": "gateway_load",
-        "scale": scale_name,
-        "tenants": spec.num_tenants,
-        "queries_planned": spec.num_queries,
-        "queries_submitted": report.total(report.submitted),
-        "queries_completed": completed,
-        "queries_rejected": report.total(report.rejected),
-        "appends_applied": report.total(report.appends_applied),
-        "append_frames": report.total(report.append_frames),
-        "appends_rejected": report.total(report.appends_rejected),
-        "dropped_appends": 0,
-        "p50_seconds": p50,
-        "p95_seconds": p95,
-        "p99_seconds": p99,
-        "throughput_qps": throughput,
-        "wall_seconds": wall,
-        "max_behind_seconds": report.max_behind,
-        "phase1_hit_rate": service_stats.phase1_hit_rate,
-        "byte_identical": True,
-        "metrics_reconciled": True,
-        "http_slice_completed":
-            http_report.total(http_report.completed),
-    }, indent=2) + "\n")
+    out = write_bench_result(
+        "gateway",
+        scale=scale_name,
+        seconds=wall,
+        margin=P99_CEILING[scale_name] - p99,
+        tenants=spec.num_tenants,
+        queries_planned=spec.num_queries,
+        queries_submitted=report.total(report.submitted),
+        queries_completed=completed,
+        queries_rejected=report.total(report.rejected),
+        appends_applied=report.total(report.appends_applied),
+        append_frames=report.total(report.append_frames),
+        appends_rejected=report.total(report.appends_rejected),
+        dropped_appends=0,
+        p50_seconds=p50,
+        p95_seconds=p95,
+        p99_seconds=p99,
+        throughput_qps=throughput,
+        wall_seconds=wall,
+        max_behind_seconds=report.max_behind,
+        phase1_hit_rate=service_stats.phase1_hit_rate,
+        byte_identical=True,
+        metrics_reconciled=True,
+        http_slice_completed=http_report.total(http_report.completed),
+    )
     print(f"wrote {out}")
 
 

@@ -18,6 +18,15 @@ from repro.core.uncertain import QuantizationGrid, UncertainRelation
 from repro.models import FeatureMDNProxy, extract_features
 from repro.video import DifferenceDetector, TrafficVideo
 
+from bench_util import scale_label, timed_call, write_bench_result
+
+
+def _record(metric: str, elapsed: float) -> None:
+    """Fold one kernel's wall seconds into ``BENCH_micro_kernels.json``."""
+    write_bench_result(
+        "micro_kernels", scale=scale_label(), seconds=elapsed,
+        **{f"{metric}_seconds": elapsed})
+
 
 def build_relation(num_tuples=20_000, levels=16, certain=60, seed=0):
     rng = np.random.default_rng(seed)
@@ -52,6 +61,7 @@ def test_topk_prob_incremental(benchmark, big_relation):
         return state.topk_prob(10)
 
     value = benchmark(run)
+    _record("topk_prob_incremental", timed_call(run)[1])
     assert 0.0 <= value <= 1.0
 
 
@@ -63,6 +73,7 @@ def test_topk_prob_naive_recompute(benchmark, big_relation):
         return state.topk_prob_direct(10)
 
     value = benchmark(run)
+    _record("topk_prob_naive", timed_call(run)[1])
     assert 0.0 <= value <= 1.0
 
 
@@ -76,6 +87,7 @@ def test_select_candidate_early_stopping(benchmark, big_relation):
         return selector.select(0, 10, 11, batch_size=8)
 
     picked = benchmark(run)
+    _record("select_candidate_early_stop", timed_call(run)[1])
     assert picked.size == 8
     # The whole point: only a small fraction of frames is examined.
     assert selector.stats.examine_fraction < 0.5
@@ -92,6 +104,7 @@ def test_select_candidate_exhaustive(benchmark, big_relation):
         return selector.select(0, 10, 11, batch_size=8)
 
     picked = benchmark(run)
+    _record("select_candidate_exhaustive", timed_call(run)[1])
     assert picked.size == 8
 
 
@@ -101,7 +114,9 @@ def test_diff_detector_throughput(benchmark):
     def run():
         return DifferenceDetector().run(video)
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result, elapsed = timed_call(run)
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _record("diff_detector", elapsed)
     assert result.num_frames == 3_000
 
 
@@ -113,6 +128,7 @@ def test_feature_extraction_throughput(benchmark):
         return extract_features(pixels)
 
     features = benchmark(run)
+    _record("feature_extraction", timed_call(run)[1])
     assert features.shape[0] == 512
 
 
@@ -131,4 +147,5 @@ def test_mdn_inference_throughput(benchmark, trained_bench_proxy=None):
         return proxy.predict_mixtures(pixels)
 
     mix = benchmark(run)
+    _record("mdn_inference", timed_call(run)[1])
     assert mix.pi.shape[0] == 1_000

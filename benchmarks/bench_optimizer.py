@@ -30,15 +30,15 @@ The machine-readable summary lands in ``results/BENCH_optimizer.json``
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro import EverestConfig, QueryService, Session
 from repro.experiments.runner import format_table
 from repro.oracle import counting_udf
 from repro.video import TrafficVideo
+
+from bench_util import write_bench_result
 
 #: Margin the optimizer must clear over FIFO on physical cost.
 MIN_PHYSICAL_RATIO = 2.0
@@ -143,14 +143,6 @@ def _run_cost(workload, frames):
     return reports, physical, stats, plan
 
 
-def _out_path() -> Path:
-    override = os.environ.get("REPRO_BENCH_OPTIMIZER_JSON", "").strip()
-    if override:
-        return Path(override)
-    return Path(__file__).resolve().parent.parent / "results" \
-        / "BENCH_optimizer.json"
-
-
 def test_optimizer_workload(bench_scale, bench_strict, benchmark=None):
     frames = _frames(bench_strict)
     workload = _workload()
@@ -203,21 +195,24 @@ def test_optimizer_workload(bench_scale, bench_strict, benchmark=None):
         f"expected the cost ordering to pay <= 1/{MIN_PHYSICAL_RATIO}x "
         f"FIFO's physical cost, got {ratio:.2f}x")
 
-    summary = {
-        "scale": "bench" if bench_strict else "quick",
-        "queries": queries,
-        "videos": len(VIDEO_SEEDS),
-        "frames": frames,
-        "artifact_entries": ARTIFACT_ENTRIES,
-        "byte_identical": True,
-        "planned_order": plan.order(),
-        "fifo": {
+    out = write_bench_result(
+        "optimizer",
+        scale="bench" if bench_strict else "quick",
+        seconds=t_serial + t_fifo + t_cost,
+        margin=ratio - MIN_PHYSICAL_RATIO,
+        queries=queries,
+        videos=len(VIDEO_SEEDS),
+        frames=frames,
+        artifact_entries=ARTIFACT_ENTRIES,
+        byte_identical=True,
+        planned_order=plan.order(),
+        fifo={
             "wall_seconds": round(t_fifo, 3),
             "builds": fifo_stats.builds,
             "build_seconds": round(fifo_stats.build_seconds, 3),
             "physical_seconds": round(fifo_physical, 3),
         },
-        "cost": {
+        cost={
             "wall_seconds": round(t_cost, 3),
             "builds": cost_stats.builds,
             "build_seconds": round(cost_stats.build_seconds, 3),
@@ -226,12 +221,9 @@ def test_optimizer_workload(bench_scale, bench_strict, benchmark=None):
             "actual_seconds": round(cost_stats.actual_seconds, 3),
             "calibration_error": round(cost_stats.calibration_error, 4),
         },
-        "physical_ratio": round(ratio, 3),
-        "min_physical_ratio": MIN_PHYSICAL_RATIO,
-    }
-    out = _out_path()
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(summary, indent=2) + "\n")
+        physical_ratio=round(ratio, 3),
+        min_physical_ratio=MIN_PHYSICAL_RATIO,
+    )
     print(f"\nsummary -> {out}")
 
 

@@ -25,7 +25,7 @@ from repro.api import Session
 from repro.oracle import counting_udf
 from repro.parallel import ParallelRunner
 
-from bench_util import available_cpus
+from bench_util import available_cpus, scale_label, write_bench_result
 
 WORKER_COUNTS = (1, 2, 4)
 SWEEP_KS = (5, 25, 50, 100)
@@ -73,13 +73,24 @@ def test_parallel_sweep_speedup(bench_scale):
               f"{available_cpus()} usable CPUs",
     ))
 
+    speedup = timings[1] / timings[4]
+    write_bench_result(
+        "parallel_sweep",
+        scale=scale_label(bench_scale),
+        seconds=sum(timings.values()),
+        margin=speedup - 2.0 if available_cpus() >= 4 else None,
+        grid_points=len(grid),
+        wall_seconds={str(w): timings[w] for w in WORKER_COUNTS},
+        speedup_4=speedup,
+        byte_identical=True,
+    )
+
     # Bit-identical reports at every worker count.
     for workers in WORKER_COUNTS[1:]:
         assert jsons[workers] == jsons[1], f"workers={workers}"
 
     # Wall-clock acceptance: >= 2x at 4 workers, when the hardware can.
     if available_cpus() >= 4:
-        speedup = timings[1] / timings[4]
         assert speedup >= 2.0, (
             f"expected >= 2x speedup with 4 workers on "
             f"{available_cpus()} CPUs, got {speedup:.2f}x")

@@ -30,7 +30,7 @@ from repro.experiments.runner import format_table
 from repro.oracle import counting_udf
 from repro.video import TrafficVideo
 
-from bench_util import available_cpus
+from bench_util import available_cpus, scale_label, write_bench_result
 
 WORKERS = 4
 VIDEO_FRAMES = 800
@@ -148,6 +148,19 @@ def test_service_throughput(benchmark=None):
 
     # Throughput acceptance: >= 2x over the no-service baseline.
     speedup = t_independent / t_service
+    write_bench_result(
+        "service_throughput",
+        scale=scale_label(),
+        seconds=t_independent + t_shared + t_service,
+        margin=speedup - 2.0,
+        queries=queries,
+        serial_independent_seconds=t_independent,
+        serial_shared_seconds=t_shared,
+        service_seconds=t_service,
+        speedup=speedup,
+        builds=stats["builds"],
+        byte_identical=True,
+    )
     assert speedup >= 2.0, (
         f"expected the service to sustain >= 2x serial-independent "
         f"throughput, got {speedup:.2f}x")

@@ -26,11 +26,14 @@ from repro.experiments.runner import (
 )
 from repro.oracle import counting_udf
 
+from bench_util import scale_label, write_bench_result
+
 NUM_APPENDS = 6
 BOOTSTRAP_FRACTION = 0.4
 
 
 def test_streaming_append_cost_tracks_the_delta(bench_scale):
+    bench_started = time.perf_counter()
     video = counting_videos(bench_scale)[0]
     config = config_for(bench_scale)
     bootstrap = int(BOOTSTRAP_FRACTION * len(video))
@@ -76,13 +79,24 @@ def test_streaming_append_cost_tracks_the_delta(bench_scale):
               f"({len(video):,} frames, {NUM_APPENDS} chunks)",
     ))
 
+    total_fresh, total_batch = sum(fresh_calls), sum(batch_calls)
+    write_bench_result(
+        "streaming_append",
+        scale=scale_label(bench_scale),
+        seconds=time.perf_counter() - bench_started,
+        margin=0.5 - total_fresh / max(total_batch, 1),
+        appends=NUM_APPENDS,
+        fresh_calls=fresh_calls,
+        batch_calls=batch_calls,
+        byte_identical=True,
+    )
+
     # Delta-sized cost, three ways. (1) No single append re-pays what
     # the batch run pays for the whole prefix.
     assert all(f < b for f, b in zip(fresh_calls, batch_calls)), \
         f"an append re-paid the batch cost: {fresh_calls} vs {batch_calls}"
     # (2) In aggregate the live path pays a small fraction of re-running
     # batch per append.
-    total_fresh, total_batch = sum(fresh_calls), sum(batch_calls)
     assert total_fresh < 0.5 * total_batch, \
         f"live total {total_fresh} not << batch total {total_batch}"
     # (3) Fresh cost does not grow with the watermark: the later half of

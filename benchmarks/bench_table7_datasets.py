@@ -9,11 +9,23 @@ import numpy as np
 from repro.experiments import table7
 from repro.video import build_dataset
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    timed_call,
+    write_bench_result,
+)
 
 
 def test_table7_output(bench_scale, benchmark, capsys):
     output = run_once(benchmark, table7.main, bench_scale)
+    write_bench_result(
+        "table7",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        output_lines=len(output.splitlines()),
+    )
     assert "taipei-bus" in output
     assert "dashcam-greenport" in output
 
@@ -26,4 +38,11 @@ def test_video_render_throughput(benchmark):
         return video.batch_pixels(indices)
 
     pixels = benchmark(render)
+    _, elapsed = timed_call(render)
+    write_bench_result(
+        "table7",
+        scale=scale_label(),
+        seconds=elapsed,
+        render_frames_per_second=len(indices) / max(elapsed, 1e-9),
+    )
     assert pixels.shape == (1_000, 24, 24)

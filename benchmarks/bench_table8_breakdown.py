@@ -8,13 +8,26 @@ fraction of frames is cleaned.
 
 from repro.experiments import table8
 
-from bench_util import run_once
+from bench_util import (
+    last_run_seconds,
+    run_once,
+    scale_label,
+    write_bench_result,
+)
 
 
 def test_table8_breakdown(bench_scale, bench_strict, benchmark):
     records = run_once(benchmark, table8.run, bench_scale)
     print()
     print(table8.render(records))
+    write_bench_result(
+        "table8",
+        scale=scale_label(bench_scale),
+        seconds=last_run_seconds(),
+        records=len(records),
+        cleaned_fractions=[
+            float(r.report.cleaned_fraction) for r in records],
+    )
 
     for record in records:
         report = record.report

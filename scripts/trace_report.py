@@ -1,0 +1,177 @@
+"""Per-span breakdown report over a trace JSONL event log.
+
+Reads the rotated JSONL log a :class:`repro.trace.Tracer` writes
+(``REPRO_TRACE_LOG=...`` or ``Tracer(jsonl_path=...)``), aggregates
+spans by ``(category, name)`` and prints a breakdown table — count,
+total/mean/max wall seconds, total simulated ledger seconds, error
+count. ``--chrome out.json`` additionally reconstructs the traces and
+writes a Chrome ``trace_event`` document (load in ``about://tracing``
+or https://ui.perfetto.dev for a flamegraph).
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_report.py /tmp/trace.jsonl
+    PYTHONPATH=src python scripts/trace_report.py /tmp/trace.jsonl \
+        --trace t00000003 --chrome /tmp/flame.json
+
+Rotated backups (``<path>.1`` … ``.N``) next to the given file are
+included automatically, oldest first, so the report covers the whole
+retained window.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+
+def discover_files(path: str) -> List[str]:
+    """The log plus its rotated backups, oldest first."""
+    backups = []
+    index = 1
+    while os.path.exists(f"{path}.{index}"):
+        backups.append(f"{path}.{index}")
+        index += 1
+    ordered = list(reversed(backups))
+    if os.path.exists(path):
+        ordered.append(path)
+    return ordered
+
+
+def load_records(path: str) -> List[Dict[str, object]]:
+    files = discover_files(path)
+    if not files:
+        raise FileNotFoundError(f"no trace log at {path!r}")
+    records: List[Dict[str, object]] = []
+    for name in files:
+        with open(name, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    return records
+
+
+def span_records(
+    records: List[Dict[str, object]], trace_id: Optional[str]
+) -> List[Dict[str, object]]:
+    spans = [r for r in records if r.get("type") == "span"]
+    if trace_id is not None:
+        spans = [r for r in spans if r.get("trace_id") == trace_id]
+    return spans
+
+
+def aggregate(
+    spans: List[Dict[str, object]]
+) -> "OrderedDict[Tuple[str, str], Dict[str, float]]":
+    """Per ``(category, name)`` totals, ordered by total wall seconds."""
+    rows: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for span in spans:
+        key = (str(span.get("category")), str(span.get("name")))
+        row = rows.setdefault(key, {
+            "count": 0, "seconds": 0.0, "max_seconds": 0.0,
+            "sim_seconds": 0.0, "errors": 0,
+        })
+        duration = float(span.get("duration") or 0.0)
+        row["count"] += 1
+        row["seconds"] += duration
+        row["max_seconds"] = max(row["max_seconds"], duration)
+        row["sim_seconds"] += float(span.get("sim_seconds") or 0.0)
+        status = str(span.get("status") or "ok")
+        if status != "ok":
+            row["errors"] += 1
+    ordered = OrderedDict(
+        sorted(rows.items(), key=lambda item: -item[1]["seconds"]))
+    return ordered
+
+
+def render(rows: "OrderedDict[Tuple[str, str], Dict[str, float]]") -> str:
+    header = ("category", "span", "count", "total(s)", "mean(ms)",
+              "max(ms)", "sim(s)", "errors")
+    table = [header]
+    for (category, name), row in rows.items():
+        mean_ms = 1e3 * row["seconds"] / max(row["count"], 1)
+        table.append((
+            category, name, str(int(row["count"])),
+            f"{row['seconds']:.3f}", f"{mean_ms:.2f}",
+            f"{row['max_seconds'] * 1e3:.2f}",
+            f"{row['sim_seconds']:.3f}", str(int(row["errors"])),
+        ))
+    widths = [
+        max(len(line[column]) for line in table)
+        for column in range(len(header))
+    ]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(width) if column < 2 else cell.rjust(width)
+            for column, (cell, width) in enumerate(zip(line, widths))))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def rebuild_traces(
+    records: List[Dict[str, object]], trace_id: Optional[str]
+) -> List[Dict[str, object]]:
+    """Regroup span records into ``Trace.to_dict()``-shaped dicts."""
+    names = {
+        r.get("trace_id"): r.get("name", "trace")
+        for r in records if r.get("type") == "trace"
+    }
+    traces: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+    for span in span_records(records, trace_id):
+        tid = str(span.get("trace_id"))
+        trace = traces.setdefault(tid, {
+            "trace_id": tid,
+            "name": names.get(tid, "trace"),
+            "spans": [],
+        })
+        trace["spans"].append(span)
+    return list(traces.values())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Per-span breakdown over a repro.trace JSONL log.")
+    parser.add_argument("log", help="path to the JSONL trace log")
+    parser.add_argument(
+        "--trace", default=None, metavar="TRACE_ID",
+        help="restrict to one trace id (e.g. t00000003)")
+    parser.add_argument(
+        "--chrome", default=None, metavar="OUT",
+        help="also write a Chrome trace_event JSON document to OUT")
+    args = parser.parse_args(argv)
+
+    records = load_records(args.log)
+    spans = span_records(records, args.trace)
+    if not spans:
+        scope = f" for trace {args.trace!r}" if args.trace else ""
+        print(f"no span records{scope} in {args.log}", file=sys.stderr)
+        return 1
+
+    traces = {s.get("trace_id") for s in spans}
+    total = sum(float(s.get("duration") or 0.0) for s in spans
+                if s.get("parent_id") is None)
+    print(f"{len(spans)} spans across {len(traces)} traces, "
+          f"{total:.3f}s of root wall time")
+    print()
+    print(render(aggregate(spans)))
+
+    if args.chrome:
+        from repro.trace import chrome_trace
+
+        document = chrome_trace(rebuild_traces(records, args.trace))
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        print(f"\nchrome trace ({len(document['traceEvents'])} events) "
+              f"-> {args.chrome}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ from .corpus import (
 )
 from .optimizer import CostEstimator, WorkloadPlanner
 from .service import QueryFuture, QueryService
+from .trace import NULL_TRACER, Trace, Tracer
 from .streaming import StreamingConfig, StreamingSession
 from .video.streaming import StreamingVideo
 from .errors import (
@@ -81,6 +82,9 @@ __all__ = [
     "QueryService",
     "CostEstimator",
     "WorkloadPlanner",
+    "Tracer",
+    "Trace",
+    "NULL_TRACER",
     "StreamingSession",
     "StreamingConfig",
     "StreamingVideo",

@@ -27,6 +27,7 @@ from ..core.windows import WindowCleaner, build_window_relation
 from ..errors import QueryError
 from ..oracle.base import Oracle
 from ..oracle.cost import CostModel
+from ..trace import span as trace_span
 from .plan import QueryPlan
 from .session import Phase1Entry, Session
 
@@ -158,7 +159,19 @@ class QueryExecutor:
             plan.config.phase2,
             cost_model=phase2_cost,
         )
-        outcome = cleaner.run(plan.k, plan.thres)
+        with trace_span(
+                "clean_loop", category="phase2", ledger=phase2_cost,
+                k=plan.k, thres=plan.thres,
+                mode=plan.mode) as loop_span:
+            outcome = cleaner.run(plan.k, plan.thres)
+            if loop_span is not None:
+                loop_span.set(
+                    iterations=outcome.iterations,
+                    cleaned=outcome.cleaned,
+                    confidence=outcome.confidence,
+                    confirm_calls=confirm_oracle.calls,
+                    fresh_confirm_calls=getattr(
+                        confirm_oracle, "fresh_calls", None))
         report = self._report(
             plan, outcome, entry, phase2_cost,
             oracle_calls=entry.oracle_calls + confirm_oracle.calls,
@@ -190,15 +203,18 @@ class QueryExecutor:
         session = self.session
         phase1 = entry.result
         assert plan.window_size is not None and plan.window_step is not None
-        relation = build_window_relation(
-            phase1.mixtures,
-            phase1.diff_result.retained,
-            phase1.diff_result,
-            window_size=plan.window_size,
-            floor=session.scoring.score_floor,
-            step=plan.window_step,
-            truncate_sigmas=plan.config.phase1.truncate_sigmas,
-        )
+        with trace_span(
+                "window_relation", category="phase2",
+                window_size=plan.window_size, window_step=plan.window_step):
+            relation = build_window_relation(
+                phase1.mixtures,
+                phase1.diff_result.retained,
+                phase1.diff_result,
+                window_size=plan.window_size,
+                floor=session.scoring.score_floor,
+                step=plan.window_step,
+                truncate_sigmas=plan.config.phase1.truncate_sigmas,
+            )
         phase2_cost, confirm_oracle = self._phase2_context(plan)
         clean_fn = WindowCleaner(
             video=session.video,

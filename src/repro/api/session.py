@@ -24,6 +24,7 @@ from ..config import EverestConfig
 from ..oracle.base import Oracle, ScoringFunction
 from ..oracle.cost import CostModel
 from ..core.phase1 import Phase1Result, run_phase1
+from ..trace import span as trace_span
 from ..video.synthetic import SyntheticVideo
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -364,21 +365,30 @@ class Session:
         key = phase1_key(config)
         entry = self._phase1_cache.get(key)
         if entry is None:
-            if self.artifacts is not None:
-                entry = self.artifacts.lease(self, config, key)
-                # A ledger handed out via phase1_cost_model() before
-                # this build was promised to receive Phase 1's charges;
-                # the shared build charged the store's ledger instead,
-                # so replay the (bit-identical, purely simulated)
-                # charges into the held reference exactly once.
-                pre = self._phase1_cost_models.pop(key, None)
-                if pre is not None and pre is not entry.cost_model:
-                    pre.merge_from(entry.cost_model)
-            else:
-                entry = build_phase1_entry(
-                    self.video, self.scoring, self._unit_costs, config,
-                    cost_model=self.phase1_cost_model(config),
-                )
+            with trace_span("phase1", category="phase1") as p1_span:
+                if self.artifacts is not None:
+                    entry = self.artifacts.lease(self, config, key)
+                    # A ledger handed out via phase1_cost_model() before
+                    # this build was promised to receive Phase 1's
+                    # charges; the shared build charged the store's
+                    # ledger instead, so replay the (bit-identical,
+                    # purely simulated) charges into the held reference
+                    # exactly once.
+                    pre = self._phase1_cost_models.pop(key, None)
+                    if pre is not None and pre is not entry.cost_model:
+                        pre.merge_from(entry.cost_model)
+                else:
+                    entry = build_phase1_entry(
+                        self.video, self.scoring, self._unit_costs,
+                        config,
+                        cost_model=self.phase1_cost_model(config),
+                    )
+                if p1_span is not None:
+                    p1_span.set(
+                        video=self.video.name, udf=self.scoring.name,
+                        shared=self.artifacts is not None,
+                        sim_seconds_total=entry.cost_model.total_seconds(),
+                        oracle_calls=entry.oracle_calls)
             self._phase1_cache[key] = entry
         return entry
 

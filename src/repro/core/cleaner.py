@@ -24,6 +24,7 @@ import numpy as np
 
 from ..config import Phase2Config
 from ..errors import GuaranteeUnreachableError, QueryError
+from ..trace import span as trace_span
 from .select_candidate import CandidateSelector, SelectionStats
 from .topk_prob import ConfidenceState
 from .uncertain import UncertainRelation
@@ -129,39 +130,53 @@ class TopKCleaner:
         if not 0.0 < thres <= 1.0:
             raise QueryError("thres must be in (0, 1]")
 
-        self._bootstrap(k)
+        with trace_span(
+                "bootstrap", category="phase2",
+                ledger=self.cost_model) as boot:
+            before = self.cleaned
+            self._bootstrap(k)
+            if boot is not None:
+                boot.set(cleaned=self.cleaned - before)
         trace: List[float] = []
         iteration = 0
         while True:
-            top, k_level, p_level = self._certain_topk(k)
-            confidence = self.state.topk_prob(k_level)
-            trace.append(confidence)
-            if confidence >= thres or self.state.num_uncertain == 0:
-                answer_ids = [int(self.relation.ids[p]) for p in top]
-                answer_scores = [
-                    float(self.relation.exact_scores[p]) for p in top]
-                return Phase2Result(
-                    answer_ids=answer_ids,
-                    answer_scores=answer_scores,
-                    confidence=confidence,
-                    iterations=iteration,
-                    cleaned=self.cleaned,
-                    confidence_trace=trace,
-                    selection_stats=self.selector.stats,
-                )
-            if self.cost_model is not None:
-                with self.cost_model.timer("select_candidate"):
+            with trace_span(
+                    "iteration", category="phase2",
+                    ledger=self.cost_model) as step:
+                top, k_level, p_level = self._certain_topk(k)
+                confidence = self.state.topk_prob(k_level)
+                trace.append(confidence)
+                if step is not None:
+                    step.set(iteration=iteration, confidence=confidence)
+                if confidence >= thres or self.state.num_uncertain == 0:
+                    answer_ids = [int(self.relation.ids[p]) for p in top]
+                    answer_scores = [
+                        float(self.relation.exact_scores[p]) for p in top]
+                    return Phase2Result(
+                        answer_ids=answer_ids,
+                        answer_scores=answer_scores,
+                        confidence=confidence,
+                        iterations=iteration,
+                        cleaned=self.cleaned,
+                        confidence_trace=trace,
+                        selection_stats=self.selector.stats,
+                    )
+                if self.cost_model is not None:
+                    with self.cost_model.timer("select_candidate"):
+                        candidates = self.selector.select(
+                            iteration, k_level, p_level,
+                            self.config.batch_size)
+                else:
                     candidates = self.selector.select(
                         iteration, k_level, p_level, self.config.batch_size)
-            else:
-                candidates = self.selector.select(
-                    iteration, k_level, p_level, self.config.batch_size)
-            if candidates.size == 0:  # pragma: no cover - defensive
-                raise GuaranteeUnreachableError(
-                    "no uncertain tuples left but confidence below thres")
-            if self.reader is not None and \
-                    self.selector._order is not None:
-                order_ids = self.relation.ids[self.selector._order]
-                self.reader.set_priority_order(order_ids.tolist())
-            self._clean_positions(candidates)
+                if candidates.size == 0:  # pragma: no cover - defensive
+                    raise GuaranteeUnreachableError(
+                        "no uncertain tuples left but confidence below thres")
+                if self.reader is not None and \
+                        self.selector._order is not None:
+                    order_ids = self.relation.ids[self.selector._order]
+                    self.reader.set_priority_order(order_ids.tolist())
+                self._clean_positions(candidates)
+                if step is not None:
+                    step.set(cleaned=int(candidates.size))
             iteration += 1

@@ -17,6 +17,7 @@ Routes::
 
     POST /query    -> 202 {"id": ...}        (or 429/400/503)
     GET  /result/q00000001 -> 200 pending|done|failed (410 expired)
+    GET  /trace/q00000001  -> 200 span tree  (404 untraced/rotated)
     POST /stream   -> 201 opened             (409 duplicate id)
     POST /append   -> 200 applied            (429 refresh refused,
                                               frames still applied)
@@ -83,6 +84,9 @@ class GatewayConfig:
     tenant_quotas: Dict[str, QuotaPolicy] = field(default_factory=dict)
     #: Largest accepted request body (the HTTP layer enforces it).
     max_body_bytes: int = 1 << 20
+    #: Wall-clock seconds over which a completed query counts toward
+    #: ``everest_gateway_slow_queries_total``; ``None`` disables.
+    slow_query_seconds: Optional[float] = 5.0
 
 
 class Gateway:
@@ -150,6 +154,8 @@ class Gateway:
             return self.submit_query(body)
         if path.startswith("/result/") and method == "GET":
             return self.get_result(path[len("/result/"):])
+        if path.startswith("/trace/") and method == "GET":
+            return self.get_trace(path[len("/trace/"):])
         if path == "/stream" and method == "POST":
             return self.open_stream(body)
         if path == "/append" and method == "POST":
@@ -164,11 +170,13 @@ class Gateway:
                 "pending_results": len(self.results.pending_ids()),
                 "streams": len(self._streams),
             }
-        known = {"/query", "/result/<id>", "/stream", "/append",
-                 "/metrics", "/stats", "/healthz"}
+        known = {"/query", "/result/<id>", "/trace/<id>", "/stream",
+                 "/append", "/metrics", "/stats", "/healthz"}
+        prefixed = {"/result/<id>": "/result/", "/trace/<id>": "/trace/"}
         for route in known:
-            if path == route or (route == "/result/<id>"
-                                 and path.startswith("/result/")):
+            prefix = prefixed.get(route)
+            if path == route or (prefix is not None
+                                 and path.startswith(prefix)):
                 return 405, {
                     "error": "MethodNotAllowed",
                     "message": f"{method} not supported on {path}",
@@ -238,9 +246,14 @@ class Gateway:
                 self.results.fail(result_id, error)
             raise
         self.metrics.count_submitted(tenant)
+        trace_id = getattr(future, "trace_id", None)
+        if trace_id is not None:
+            # Pending polls already see the trace id; the summary
+            # lands below when the query (and its trace) finishes.
+            self.results.set_trace(result_id, trace_id)
 
         def on_done(done_future, *, _id=result_id, _t=tenant,
-                    _start=submitted_at):
+                    _start=submitted_at, _trace_id=trace_id):
             try:
                 report = done_future.result(0)
             except BaseException as error:  # noqa: BLE001 - recorded
@@ -249,7 +262,16 @@ class Gateway:
             else:
                 self.results.complete(_id, report)
                 self.metrics.count_completed(_t)
-            self.metrics.observe_latency("query", self._clock() - _start)
+            elapsed = self._clock() - _start
+            self.metrics.observe_latency("query", elapsed)
+            threshold = self.config.slow_query_seconds
+            if threshold is not None and elapsed > threshold:
+                self.metrics.count_slow_query(_t)
+            if _trace_id is not None:
+                trace = self.service.tracer.get(_trace_id)
+                if trace is not None:
+                    self.results.set_trace(
+                        _id, _trace_id, summary=trace.summary())
             self.quotas.release(_t)
 
         future.add_done_callback(on_done)
@@ -264,6 +286,29 @@ class Gateway:
         """``GET /result/<id>``: the entry's current lifecycle state."""
         entry = self.results.get(result_id)
         return 200, entry.body()
+
+    def get_trace(self, ident: str) -> Response:
+        """``GET /trace/<id>``: the full span tree for one query.
+
+        Accepts a result id (``q…``, resolved through the result
+        store — 410 when that entry expired) or a raw trace id
+        (``t…``). 404 when the query was never traced or the trace
+        rotated out of the tracer's ring.
+        """
+        trace_id = ident
+        if ident.startswith("q"):
+            entry = self.results.get(ident)
+            if entry.trace_id is None:
+                raise KeyError(
+                    f"result {ident!r} has no trace "
+                    f"(tracing disabled on the service?)")
+            trace_id = entry.trace_id
+        trace = self.service.tracer.get(trace_id)
+        if trace is None:
+            raise KeyError(
+                f"no trace {trace_id!r} (tracing disabled, or it "
+                f"rotated out of the in-memory ring)")
+        return 200, trace.to_dict()
 
     def _target(self, request: QueryRequest):
         """The cached session/corpus for a canonical spec string.

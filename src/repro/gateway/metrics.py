@@ -61,12 +61,17 @@ def quantile(sorted_samples: List[float], q: float) -> float:
 class LatencySummary:
     """Bounded sample set exporting count/sum and p50/p95/p99.
 
-    Samples beyond ``max_samples`` overwrite the buffer ring-style:
-    the quantiles then describe the most recent window while count and
-    sum stay exact — the standard summary trade-off.
+    Samples beyond ``max_samples`` overwrite the buffer ring-style —
+    a long-lived gateway holds at most ``max_samples`` floats per op,
+    never memory linear in request count. The quantiles then describe
+    the most recent window while count and sum stay exact — the
+    standard summary trade-off.
     """
 
     def __init__(self, max_samples: int = 65_536):
+        if max_samples < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {max_samples}")
         self.max_samples = max_samples
         self.count = 0
         self.sum = 0.0
@@ -78,7 +83,15 @@ class LatencySummary:
         if len(self._samples) < self.max_samples:
             self._samples.append(seconds)
         else:
-            self._samples[self.count % self.max_samples] = seconds
+            # count was already incremented: sample N lands in slot
+            # (N-1) % size, so the ring truly cycles. (The previous
+            # ``count % size`` skipped slot 0 every lap, pinning the
+            # oldest sample in the window forever.)
+            self._samples[(self.count - 1) % self.max_samples] = seconds
+
+    def samples(self) -> List[float]:
+        """The retained window (ring order, not arrival order)."""
+        return list(self._samples)
 
     def quantiles(self) -> Dict[float, float]:
         ordered = sorted(self._samples)
@@ -88,8 +101,9 @@ class LatencySummary:
 class GatewayMetrics:
     """Thread-safe counters + latency summaries, rendered on demand."""
 
-    def __init__(self):
+    def __init__(self, *, max_latency_samples: int = 65_536):
         self._lock = threading.Lock()
+        self.max_latency_samples = max_latency_samples
         self.submitted: Dict[str, int] = {}
         self.completed: Dict[str, int] = {}
         self.failed: Dict[str, int] = {}
@@ -103,6 +117,9 @@ class GatewayMetrics:
         #: fully-applied before any refresh error can surface, so this
         #: stays zero; it is exported so the invariant is checkable.
         self.dropped_appends: Dict[str, int] = {}
+        #: Completed queries whose end-to-end latency exceeded the
+        #: gateway's slow-query threshold, per tenant.
+        self.slow_queries: Dict[str, int] = {}
         self._latency: Dict[str, LatencySummary] = {}
 
     # -- recording -----------------------------------------------------
@@ -135,11 +152,15 @@ class GatewayMetrics:
     def count_dropped_append(self, tenant: str) -> None:
         self._bump(self.dropped_appends, tenant)
 
+    def count_slow_query(self, tenant: str) -> None:
+        self._bump(self.slow_queries, tenant)
+
     def observe_latency(self, op: str, seconds: float) -> None:
         with self._lock:
             summary = self._latency.get(op)
             if summary is None:
-                summary = LatencySummary()
+                summary = LatencySummary(
+                    max_samples=self.max_latency_samples)
                 self._latency[op] = summary
             summary.observe(seconds)
 
@@ -202,6 +223,12 @@ class GatewayMetrics:
                 "Appends whose frames failed to land (invariant: 0).",
                 {(("tenant", t),): v
                  for t, v in self.dropped_appends.items()})
+            self._counter(
+                lines, "everest_gateway_slow_queries_total",
+                "Completed queries over the slow-query latency "
+                "threshold, per tenant.",
+                {(("tenant", t),): v
+                 for t, v in self.slow_queries.items()})
             for op, summary in sorted(self._latency.items()):
                 name = "everest_gateway_latency_seconds"
                 lines.append(f"# TYPE {name} summary")

@@ -51,6 +51,11 @@ class ResultEntry:
     report_json: Optional[str] = None
     error_type: Optional[str] = None
     error_message: Optional[str] = None
+    #: The query's trace id when the service traced it (DESIGN.md §12)
+    #: — the key for ``GET /trace/<id>``.
+    trace_id: Optional[str] = None
+    #: The finished trace's summary dict, captured at completion.
+    trace_summary: Optional[Dict[str, object]] = None
 
     def body(self) -> Dict[str, object]:
         """The wire payload for ``GET /result/<id>``."""
@@ -60,6 +65,8 @@ class ResultEntry:
             "spec": self.spec,
             "status": self.status,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.status == "done":
             payload["latency_seconds"] = self.latency_seconds
             payload["report_json"] = self.report_json
@@ -67,6 +74,8 @@ class ResultEntry:
             payload["latency_seconds"] = self.latency_seconds
             payload["error"] = self.error_type
             payload["message"] = self.error_message
+        if self.trace_summary is not None and self.status != "pending":
+            payload["trace"] = self.trace_summary
         return payload
 
 
@@ -123,6 +132,27 @@ class ResultStore:
         self._finish(
             result_id, status="done", report=report,
             report_json=report.to_json())
+
+    def set_trace(
+        self,
+        result_id: str,
+        trace_id: Optional[str],
+        summary: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Attach trace linkage to an entry (no-op when evicted).
+
+        Called twice per traced query: at submit with just the id (so
+        pending polls can already point at ``GET /trace/<id>``) and at
+        completion with the finished trace's summary.
+        """
+        with self._lock:
+            entry = self._entries.get(result_id)
+            if entry is None:
+                return
+            if trace_id is not None:
+                entry.trace_id = trace_id
+            if summary is not None:
+                entry.trace_summary = summary
 
     def fail(self, result_id: str, error: BaseException) -> None:
         self._finish(

@@ -23,6 +23,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import OracleBudgetExceededError
+from ..trace import add_event
 from ..video.frame import Frame
 from ..video.synthetic import SyntheticVideo
 from .cost import CostModel
@@ -109,6 +110,9 @@ class Oracle:
             raise OracleBudgetExceededError(self.budget)
         self.calls += len(indices)
         self.cost_model.charge(self.cost_key, len(indices))
+        add_event(
+            "oracle_confirm", frames=len(indices), fresh=len(indices),
+            cached=0, cost_key=self.cost_key)
         frames = [video.frame(i) for i in indices]
         return self.scoring(frames)
 

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigurationError, OracleBudgetExceededError
+from ..trace import add_event
 from .base import Oracle
 from .cost import CostModel
 
@@ -181,5 +182,8 @@ class CachingOracle(Oracle):
                 self.fresh_scores[i] = score
                 self.cache.put(i, score)
             self.fresh_calls += len(missing)
+        add_event(
+            "oracle_confirm", frames=len(indices), fresh=len(missing),
+            cached=len(indices) - len(missing), cost_key=self.cost_key)
         return np.asarray(
             [known[i] for i in indices], dtype=np.float64)

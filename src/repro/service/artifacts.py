@@ -39,6 +39,7 @@ from ..api.session import Phase1Entry, Phase1Key, build_phase1_entry
 from ..errors import ConfigurationError, ServiceError
 from ..oracle.cache import ScoreCache
 from ..oracle.cost import CostModel
+from ..trace import add_event, span as trace_span
 
 #: Identity of the (video content, UDF) pair an artifact belongs to.
 #: Synthetic videos are fully determined by (family, name, length,
@@ -151,6 +152,9 @@ class SharedArtifacts:
                 if entry is not None:
                     self._entries.move_to_end(artifact)
                     self.stats.hits += 1
+                    add_event(
+                        "artifact_lease", outcome="hit",
+                        digest=artifact_digest(artifact))
                     return entry
                 build = self._building.get(artifact)
                 if build is None:
@@ -158,7 +162,10 @@ class SharedArtifacts:
                     self._building[artifact] = build
                     break
                 self.stats.single_flight_waits += 1
-            build.done.wait()
+            with trace_span(
+                    "artifact_wait", category="phase1",
+                    digest=artifact_digest(artifact)):
+                build.done.wait()
             if build.error is None:
                 # The builder stored the entry before signalling; loop
                 # to fetch it (and refresh its LRU position) normally.
@@ -166,16 +173,24 @@ class SharedArtifacts:
             raise build.error
 
         try:
-            entry = self._load_warm(artifact)
-            if entry is None:
-                entry = build_phase1_entry(
-                    session.video, session.scoring,
-                    session.resolved_unit_costs(), config)
-                with self._lock:
-                    self.stats.builds += 1
-                    self.stats.build_seconds += \
-                        entry.cost_model.total_seconds()
-                self._store_warm(artifact, entry)
+            with trace_span(
+                    "artifact_build", category="phase1",
+                    digest=artifact_digest(artifact)) as build_span:
+                entry = self._load_warm(artifact)
+                warm = entry is not None
+                if entry is None:
+                    entry = build_phase1_entry(
+                        session.video, session.scoring,
+                        session.resolved_unit_costs(), config)
+                    with self._lock:
+                        self.stats.builds += 1
+                        self.stats.build_seconds += \
+                            entry.cost_model.total_seconds()
+                    self._store_warm(artifact, entry)
+                if build_span is not None:
+                    build_span.set(
+                        warm=warm,
+                        sim_seconds_total=entry.cost_model.total_seconds())
             self._admit(artifact, entry)
             build.entry = entry
         except BaseException as error:

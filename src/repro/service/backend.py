@@ -62,6 +62,9 @@ class BatchTask:
     plans: Tuple[object, ...]
     #: Parent-side cache entries the worker may not have yet.
     cache_items: Tuple[Tuple[int, float], ...]
+    #: Record per-plan spans in the worker and ship them back so the
+    #: parent can re-parent them under its lane-dispatch span.
+    traced: bool = False
 
 
 @dataclass
@@ -70,6 +73,9 @@ class BatchResult:
 
     details: List[ExecutionDetail]
     new_scores: Dict[int, float]
+    #: Per-plan lists of ``Span.to_dict()`` dumps (``None`` untraced).
+    #: Times are relative to each plan's worker-side root span.
+    spans: Optional[List[List[dict]]] = None
 
 
 def _service_worker_run(task: BatchTask) -> BatchResult:
@@ -83,13 +89,31 @@ def _service_worker_run(task: BatchTask) -> BatchResult:
     cache.merge(task.cache_items)
     before = set(cache.as_dict())
     executor = QueryExecutor(session, workers=1, score_cache=cache)
-    details = [executor.execute_detailed(plan) for plan in task.plans]
+    spans: Optional[List[List[dict]]] = None
+    if task.traced:
+        # A throwaway worker-side tracer: one trace per plan, dumped to
+        # plain dicts for the wire. Instrumentation sites below see an
+        # active span exactly as they would in the inline lane; the
+        # parent rebases the dumps under its own lane-dispatch span
+        # (worker perf_counter epochs are unrelated to the parent's).
+        from ..trace import Tracer
+
+        tracer = Tracer(ring=len(task.plans) or 1)
+        details = []
+        spans = []
+        for plan in task.plans:
+            with tracer.trace("worker_execute") as trace:
+                details.append(executor.execute_detailed(plan))
+            dump = trace.to_dict()
+            spans.append(list(dump["spans"]))
+    else:
+        details = [executor.execute_detailed(plan) for plan in task.plans]
     new_scores = {
         frame: score
         for frame, score in cache.as_dict().items()
         if frame not in before
     }
-    return BatchResult(details=details, new_scores=new_scores)
+    return BatchResult(details=details, new_scores=new_scores, spans=spans)
 
 
 # ----------------------------------------------------------------------
@@ -130,7 +154,8 @@ def run_batch_in_pool(
     plans,
     shared_cache: Optional[ScoreCache],
     shipped: Optional[set] = None,
-) -> List[ExecutionDetail]:
+    traced: bool = False,
+) -> BatchResult:
     """Ship a batch to the pool; fold revelations back into the cache.
 
     ``shipped`` is the caller-held set of frame ids already sent for
@@ -156,6 +181,7 @@ def run_batch_in_pool(
         spec_blob=spec_blob,
         plans=tuple(plans),
         cache_items=items,
+        traced=traced,
     )
     result: BatchResult = pool.submit(_service_worker_run, task).result()
     if shared_cache is not None and result.new_scores:
@@ -164,4 +190,4 @@ def run_batch_in_pool(
             # The executing worker holds its own revelations already;
             # siblings will re-reveal on demand (see above).
             shipped.update(result.new_scores)
-    return result.details
+    return result

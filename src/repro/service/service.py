@@ -50,6 +50,7 @@ from ..core.result import QueryReport
 from ..errors import QueryError, ServiceClosedError, ServiceError
 from ..oracle.cost import CostModel, merge_cost_models
 from ..parallel.pool import PersistentPool, available_cpus, resolve_workers
+from ..trace import Tracer, activate
 from .artifacts import SharedArtifacts, group_key
 from .backend import make_spec_blob, run_batch_in_pool
 from .scheduler import FairScheduler, JobOutcome, QueryFuture
@@ -104,6 +105,9 @@ class ServiceStats:
     tenants: Dict[str, float] = field(default_factory=dict)
     #: tenant -> reason code -> refused submissions.
     rejections: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Summaries of the most recently completed traces, newest first
+    #: (empty with the no-op tracer). See DESIGN.md §12.
+    recent_traces: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def phase1_hit_rate(self) -> float:
@@ -159,6 +163,8 @@ class _QueryTask:
     plan: QueryPlan
     tenant: str
     seq: int
+    #: The query's :class:`~repro.trace.Trace` (None when tracing off).
+    trace: object = None
 
 
 @dataclass(frozen=True)
@@ -167,6 +173,7 @@ class _StreamTask:
 
     refresh: object  # zero-arg callable -> (reports, first error)
     session: object
+    trace: object = None
 
 
 @dataclass(frozen=True)
@@ -176,6 +183,7 @@ class _CorpusTask:
     query: object  # repro.corpus.query.CorpusQuery
     tenant: str
     seq: int
+    trace: object = None
 
 
 class QueryService:
@@ -212,10 +220,14 @@ class QueryService:
         start_method: Optional[str] = None,
         ordering: str = "fifo",
         estimator=None,
+        tracer=None,
     ):
         if ordering not in ("fifo", "cost"):
             raise ServiceError(
                 f"ordering must be 'fifo' or 'cost', got {ordering!r}")
+        # Per-query tracing (DESIGN.md §12): defaults through
+        # REPRO_TRACE to the shared no-op tracer, which costs nothing.
+        self.tracer = tracer if tracer is not None else Tracer.from_env()
         self.workers = resolve_workers(workers)
         if use_processes is None:
             use_processes = self.workers > 1 and available_cpus() > 1
@@ -366,17 +378,77 @@ class QueryService:
         stream.share_inference_cache(self.artifacts.block_cache(artifact))
 
         def dispatch(refresh):
-            future = self._scheduler.submit(
-                _StreamTask(refresh=refresh, session=stream),
-                tenant=tenant,
-                batch_key=None,
-            )
+            trace, admission = self._begin_trace(
+                "stream_refresh", tenant=tenant,
+                video=stream.video.name, udf=stream.scoring.name)
+            try:
+                future = self._scheduler.submit(
+                    _StreamTask(
+                        refresh=refresh, session=stream, trace=trace),
+                    tenant=tenant,
+                    batch_key=None,
+                )
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                self._trace_refused(trace, admission, error)
+                raise
+            self._trace_submitted(trace, admission, future)
             return future.result()
 
         stream.refresh_dispatcher = dispatch
         with self._lock:
             self._sessions[id(stream)] = stream
         return stream
+
+    # ------------------------------------------------------------------
+    # Trace bookkeeping (DESIGN.md §12). Every submitted request gets a
+    # root span in submit, an open "admission" span across the
+    # scheduler handoff, an open "queue_wait" span closed when a worker
+    # picks the job up, and a done-callback that finishes the trace —
+    # so even refused, crashed, or abandoned queries yield a closed
+    # root span. All of it no-ops (trace is None) with the null tracer.
+    # ------------------------------------------------------------------
+    def _begin_trace(self, name: str, **attrs):
+        """A new trace with its admission span open (``(None, None)``
+        when tracing is off)."""
+        trace = self.tracer.begin(name, **attrs)
+        if trace is None:
+            return None, None
+        return trace, trace.start_span("admission", category="scheduler")
+
+    def _trace_submitted(self, trace, admission, future) -> None:
+        """The request was queued: admission over, queue wait begins."""
+        if trace is None:
+            return
+        admission.finish()
+        trace.start_span("queue_wait", category="scheduler")
+        future.trace_id = trace.trace_id
+        tracer = self.tracer
+
+        def _finish(done_future: QueryFuture) -> None:
+            error = done_future._error
+            tracer.finish(
+                trace,
+                status="ok" if error is None
+                else f"error:{type(error).__name__}")
+
+        future.add_done_callback(_finish)
+
+    def _trace_refused(self, trace, admission, error) -> None:
+        """The scheduler refused the request (admission / closed)."""
+        if trace is None:
+            return
+        status = f"error:{type(error).__name__}"
+        admission.finish(status=status)
+        self.tracer.finish(trace, status=status)
+
+    @staticmethod
+    def _trace_pickup(task, **attrs):
+        """Close the task's queue wait, open its execute span (or None)."""
+        trace = task.trace
+        if trace is None:
+            return None
+        trace.close_open("queue_wait")
+        return trace.start_span("execute", category="service", attrs=attrs)
 
     # ------------------------------------------------------------------
     # Submission
@@ -430,12 +502,21 @@ class QueryService:
             self.adopt_session(session)
         with self._lock:
             self._sessions.setdefault(id(session), session)
+        trace, admission = self._begin_trace(
+            "query", tenant=tenant, video=plan.video_name,
+            udf=plan.udf_name, k=plan.k, thres=plan.thres)
         task = _QueryTask(
             session=session, plan=plan, tenant=tenant,
-            seq=next(self._submit_seq))
+            seq=next(self._submit_seq), trace=trace)
         batch_key = (id(session), phase1_key(plan.config))
-        return self._scheduler.submit(
-            task, tenant=tenant, batch_key=batch_key)
+        try:
+            future = self._scheduler.submit(
+                task, tenant=tenant, batch_key=batch_key)
+        except BaseException as error:  # noqa: BLE001 - re-raised
+            self._trace_refused(trace, admission, error)
+            raise
+        self._trace_submitted(trace, admission, future)
+        return future
 
     def _submit_corpus(self, query, *, tenant: str) -> QueryFuture:
         """Queue one federated corpus query (DESIGN.md §9).
@@ -454,11 +535,22 @@ class QueryService:
                 self.adopt_session(member.session)
         if not query._deterministic_timing:
             query = dataclasses.replace(query, _deterministic_timing=True)
+        trace, admission = self._begin_trace(
+            "corpus_query", tenant=tenant,
+            shards=len(corpus.members), udf=corpus.scoring.name)
         task = _CorpusTask(
-            query=query, tenant=tenant, seq=next(self._submit_seq))
+            query=query, tenant=tenant, seq=next(self._submit_seq),
+            trace=trace)
         with self._lock:
             self._sessions.setdefault(id(corpus), corpus)
-        return self._scheduler.submit(task, tenant=tenant, batch_key=None)
+        try:
+            future = self._scheduler.submit(
+                task, tenant=tenant, batch_key=None)
+        except BaseException as error:  # noqa: BLE001 - re-raised
+            self._trace_refused(trace, admission, error)
+            raise
+        self._trace_submitted(trace, admission, future)
+        return future
 
     def _corpus_backend(self, corpus):
         """The shard-scoring backend for this service's lane.
@@ -490,17 +582,22 @@ class QueryService:
         from ..corpus.federated import FederatedTopK
 
         query = task.query
+        exec_span = self._trace_pickup(
+            task, lane="process" if self._pool is not None else "inline")
         try:
-            engine = FederatedTopK(
-                query.corpus,
-                shard_workers=self.workers,
-                backend=self._corpus_backend(query.corpus),
-            )
-            outcome = engine.execute_detailed(
-                query.plan(),
-                shard_budgets=query._shard_budget_list(),
-            )
+            with activate(exec_span):
+                engine = FederatedTopK(
+                    query.corpus,
+                    shard_workers=self.workers,
+                    backend=self._corpus_backend(query.corpus),
+                )
+                outcome = engine.execute_detailed(
+                    query.plan(),
+                    shard_budgets=query._shard_budget_list(),
+                )
         except BaseException as error:  # noqa: BLE001 - to the future
+            if exec_span is not None:
+                exec_span.finish(status=f"error:{type(error).__name__}")
             return JobOutcome(error=error)
         record = QueryOutcome(
             tenant=task.tenant,
@@ -511,6 +608,11 @@ class QueryService:
         )
         with self._lock:
             self._outcomes.append(record)
+        if exec_span is not None:
+            exec_span.set(
+                fresh_confirm_calls=outcome.fresh_confirm_calls,
+                sim_seconds_total=outcome.phase2_cost.total_seconds(),
+            ).finish()
         return JobOutcome(
             value=outcome.report,
             charge=outcome.phase2_cost.seconds("oracle_confirm"),
@@ -645,14 +747,20 @@ class QueryService:
         return self._run_queries(list(payloads))
 
     def _run_stream(self, task: _StreamTask) -> JobOutcome:
+        exec_span = self._trace_pickup(task, lane="inline")
         before = task.session.stats.fresh_confirm_calls
         try:
-            value = task.refresh()
+            with activate(exec_span):
+                value = task.refresh()
         except BaseException as error:  # noqa: BLE001 - to the future
+            if exec_span is not None:
+                exec_span.finish(status=f"error:{type(error).__name__}")
             return JobOutcome(error=error)
         confirm_unit = task.session.resolved_unit_costs() \
             .get("oracle_confirm", 0.0)
         fresh = task.session.stats.fresh_confirm_calls - before
+        if exec_span is not None:
+            exec_span.set(fresh_confirm_calls=fresh).finish()
         return JobOutcome(value=value, charge=fresh * confirm_unit)
 
     def _run_queries(self, tasks: List[_QueryTask]) -> List[JobOutcome]:
@@ -661,6 +769,10 @@ class QueryService:
         session = tasks[0].session
         outcomes: List[JobOutcome] = []
         estimator = self._estimator
+        exec_spans = [
+            self._trace_pickup(task, batch_size=len(tasks))
+            for task in tasks
+        ]
         # Predict before touching the shared store: the estimator must
         # see the same warm/cold state the policy priced, so the
         # calibration pair reflects the decision actually made.
@@ -675,12 +787,21 @@ class QueryService:
                 predictions = None
         # Phase 1 first: single-flight through the shared store (the
         # batch shares one artifact by construction of batch_key).
+        # Each lease runs under its task's execute span, so the build
+        # (or wait) lands in the paying query's trace while batchmates
+        # record cache hits.
         try:
-            entries = [
-                (task.plan.config, session.phase1(task.plan.config))
-                for task in tasks
-            ]
+            entries = []
+            for task, exec_span in zip(tasks, exec_spans):
+                with activate(exec_span):
+                    entries.append(
+                        (task.plan.config,
+                         session.phase1(task.plan.config)))
         except BaseException as error:  # noqa: BLE001 - to the futures
+            for exec_span in exec_spans:
+                if exec_span is not None:
+                    exec_span.finish(
+                        status=f"error:{type(error).__name__}")
             return [JobOutcome(error=error) for _ in tasks]
         group = group_key(session.video, session.scoring)
         if estimator is not None and entries:
@@ -704,20 +825,42 @@ class QueryService:
         if use_pool and predictions is not None:
             use_pool = any(p.lane == "process" for p in predictions)
         lane = "process" if use_pool else "inline"
+        traced = any(span is not None for span in exec_spans)
         started = time.perf_counter()
         if use_pool:
+            lane_spans = [
+                None if span is None else task.trace.start_span(
+                    "lane_dispatch", category="service",
+                    parent=span, attrs={"lane": "process"})
+                for task, span in zip(tasks, exec_spans)
+            ]
             try:
-                details = list(self._execute_remote(
-                    session, [task.plan for task in tasks], entries))
+                result = self._execute_remote(
+                    session, [task.plan for task in tasks], entries,
+                    traced=traced)
+                details = list(result.details)
                 errors = [None] * len(details)
+                # Re-parent worker-side spans under each query's
+                # lane-dispatch span (rebased to the parent clock).
+                for task, lane_span, dumps in zip(
+                        tasks, lane_spans,
+                        result.spans or [None] * len(tasks)):
+                    if lane_span is not None and dumps:
+                        task.trace.adopt(dumps, parent=lane_span)
             except BaseException as error:  # noqa: BLE001
                 details = [None] * len(tasks)
                 errors = [error] * len(tasks)
+            finally:
+                for lane_span in lane_spans:
+                    if lane_span is not None:
+                        lane_span.finish()
         else:
             executor = QueryExecutor(session, workers=1)
-            for task in tasks:
+            for task, exec_span in zip(tasks, exec_spans):
                 try:
-                    details.append(executor.execute_detailed(task.plan))
+                    with activate(exec_span):
+                        details.append(
+                            executor.execute_detailed(task.plan))
                     errors.append(None)
                 except BaseException as error:  # noqa: BLE001
                     details.append(None)
@@ -727,11 +870,18 @@ class QueryService:
 
         for index, (task, detail, error) in enumerate(
                 zip(tasks, details, errors)):
+            exec_span = exec_spans[index]
             if error is not None or detail is None:
+                if exec_span is not None:
+                    exec_span.set(lane=lane).finish(
+                        status=f"error:{type(error).__name__}"
+                        if error is not None else "error:no-result")
                 outcomes.append(JobOutcome(
                     error=error if error is not None
                     else ServiceError("query produced no result")))
                 continue
+            predicted = predictions[index] \
+                if predictions is not None else None
             if estimator is not None:
                 estimator.observe_query(
                     task.plan,
@@ -739,9 +889,24 @@ class QueryService:
                     phase2_cost=detail.phase2_cost,
                     wall_seconds=per_query_wall,
                     lane=lane,
-                    predicted=predictions[index]
-                    if predictions is not None else None,
+                    predicted=predicted,
                 )
+            if exec_span is not None:
+                # Estimated-vs-actual on the trace root: per-query
+                # calibration error becomes inspectable in the export
+                # (the estimate exists only under a cost estimator).
+                task.trace.root.set(
+                    actual_phase2_seconds=(
+                        detail.phase2_cost.total_seconds()))
+                if predicted is not None:
+                    task.trace.root.set(
+                        estimated_phase2_seconds=predicted.phase2_seconds,
+                        estimated_lane=predicted.lane,
+                    )
+                exec_span.set(
+                    lane=lane,
+                    sim_seconds_total=detail.phase2_cost.total_seconds(),
+                ).finish()
             outcome = QueryOutcome(
                 tenant=task.tenant,
                 report=detail.report,
@@ -757,7 +922,7 @@ class QueryService:
             ))
         return outcomes
 
-    def _execute_remote(self, session, plans, entries):
+    def _execute_remote(self, session, plans, entries, *, traced=False):
         key = (id(session), phase1_key(plans[0].config))
         with self._lock:
             blob = self._spec_blobs.get(key)
@@ -774,6 +939,7 @@ class QueryService:
             plans=plans,
             shared_cache=session.shared_score_cache,
             shipped=shipped,
+            traced=traced,
         )
 
     # ------------------------------------------------------------------
@@ -848,6 +1014,7 @@ class QueryService:
             rejections=self._scheduler.rejections(),
             ordering=self.ordering,
             planned=planned,
+            recent_traces=self.tracer.summaries(limit=16),
             **calibration,
             **{key: snapshot[key] for key in (
                 "builds", "hits", "single_flight_waits", "warm_hits",

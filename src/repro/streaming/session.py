@@ -33,6 +33,7 @@ from ..config import EverestConfig
 from ..core.result import QueryReport
 from ..errors import CheckpointError, QueryError
 from ..oracle.cost import CostModel
+from ..trace import span as trace_span
 from ..video.streaming import Segment, StreamingVideo
 from .live_topk import (
     CachingOracle,
@@ -275,9 +276,17 @@ class StreamingSession(Session):
         """One refresh pass over every subscription (see append)."""
         reports: List[QueryReport] = []
         refresh_error: Optional[BaseException] = None
-        for subscription in self._subscriptions:
+        for index, subscription in enumerate(self._subscriptions):
             try:
-                reports.append(subscription.refresh(self._executor()))
+                with trace_span(
+                        "subscription_refresh", category="streaming",
+                        subscription=index,
+                        watermark=self.watermark) as refresh_span:
+                    report = subscription.refresh(self._executor())
+                    if refresh_span is not None:
+                        refresh_span.set(
+                            k=report.k, confidence=report.confidence)
+                reports.append(report)
             except Exception as error:
                 if refresh_error is None:
                     refresh_error = error

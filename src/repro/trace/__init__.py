@@ -1,0 +1,32 @@
+"""Deterministic per-query tracing and structured events (DESIGN.md §12)."""
+
+from .core import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Trace,
+    Tracer,
+    activate,
+    active_span,
+    active_trace,
+    add_event,
+    span,
+)
+from .exporters import JsonlTraceLog, chrome_trace, chrome_trace_events, read_jsonl
+
+__all__ = [
+    "NULL_TRACER",
+    "JsonlTraceLog",
+    "NullTracer",
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate",
+    "active_span",
+    "active_trace",
+    "add_event",
+    "chrome_trace",
+    "chrome_trace_events",
+    "read_jsonl",
+    "span",
+]
