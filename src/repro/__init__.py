@@ -51,6 +51,7 @@ from .service import QueryFuture, QueryService
 from .trace import NULL_TRACER, Trace, Tracer
 from .streaming import StreamingConfig, StreamingSession
 from .video.streaming import StreamingVideo
+from .windowed import WindowedSession, WindowedVideo
 from .errors import (
     AdmissionError,
     CheckpointError,
@@ -88,6 +89,8 @@ __all__ = [
     "StreamingSession",
     "StreamingConfig",
     "StreamingVideo",
+    "WindowedSession",
+    "WindowedVideo",
     "VideoCorpus",
     "CorpusQuery",
     "CorpusSubscription",

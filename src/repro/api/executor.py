@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.cleaner import TopKCleaner
 from ..core.result import PhaseBreakdown, QueryReport
+from ..core.uncertain import restrict_relation
 from ..core.windows import WindowCleaner, build_window_relation
 from ..errors import QueryError
 from ..oracle.base import Oracle
@@ -188,7 +189,22 @@ class QueryExecutor:
     ) -> ExecutionDetail:
         session = self.session
         phase2_cost, confirm_oracle = self._phase2_context(plan)
-        relation = entry.result.relation.copy()
+        if plan.frame_ranges is not None:
+            # Sliding-window restriction: mask the cached full relation
+            # down to the window's rows on the same grid. A windowed
+            # maintainer's relation is already window-scoped, in which
+            # case this is the identity mask (still a fresh copy —
+            # cleaning mutates in place).
+            with trace_span(
+                    "window_slide", category="phase2",
+                    window_seconds=plan.window_seconds,
+                    num_ranges=len(plan.frame_ranges)) as slide_span:
+                relation = restrict_relation(
+                    entry.result.relation, plan.frame_ranges)
+                if slide_span is not None:
+                    slide_span.set(num_tuples=len(relation))
+        else:
+            relation = entry.result.relation.copy()
 
         def clean_fn(ids: Sequence[int]) -> np.ndarray:
             phase2_cost.charge("decode", len(ids))

@@ -44,6 +44,14 @@ class QueryPlan:
     #: report depends only on the plan and the Phase 1 artifacts —
     #: required for reports to be bit-identical across pool workers.
     deterministic_timing: bool = False
+    #: Sliding-window restriction: disjoint, ascending ``[lo, hi)``
+    #: frame-id ranges the cleaner may see (None = whole relation).
+    #: One range for single-video windows; one per member (in global
+    #: corpus ids) for federated windows. Frames-mode only.
+    frame_ranges: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: The sliding-window length that produced ``frame_ranges`` (for
+    #: ``explain()``; None when the plan is not windowed).
+    window_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Builder validation should make these unreachable; they guard
@@ -54,6 +62,22 @@ class QueryPlan:
             raise ValueError("window plans require window_size")
         if self.mode == "windows" and self.window_step is None:
             raise ValueError("window plans require window_step")
+        if self.frame_ranges is not None:
+            if self.mode != "frames":
+                raise ValueError(
+                    "frame_ranges (sliding windows) require frames mode")
+            if not self.frame_ranges:
+                raise ValueError("frame_ranges must be None or non-empty")
+            prev_hi = 0
+            for lo, hi in self.frame_ranges:
+                if not (0 <= lo < hi <= self.num_frames):
+                    raise ValueError(
+                        f"frame range [{lo}, {hi}) out of bounds for "
+                        f"{self.num_frames} frames")
+                if lo < prev_hi:
+                    raise ValueError(
+                        "frame ranges must be ascending and disjoint")
+                prev_hi = hi
 
     # ------------------------------------------------------------------
     @property
@@ -64,6 +88,12 @@ class QueryPlan:
                 f"tumbling-windows(size={self.window_size}, "
                 f"step={self.window_step:g})"
             )
+        if self.frame_ranges is not None:
+            spans = ", ".join(f"[{lo}, {hi})" for lo, hi in self.frame_ranges)
+            window = (
+                f"{self.window_seconds:g}s" if self.window_seconds is not None
+                else "?")
+            return f"uncertain-frames(D0) | window({window}: {spans})"
         return "uncertain-frames(D0)"
 
     @property
@@ -91,6 +121,8 @@ class QueryPlan:
         if self.mode == "windows":
             assert self.window_size is not None
             return num_windows(self.num_frames, self.window_size)
+        if self.frame_ranges is not None:
+            return sum(hi - lo for lo, hi in self.frame_ranges)
         return self.num_frames
 
     def _oracle_costs(self) -> Tuple[float, float]:

@@ -49,6 +49,7 @@ class Query:
     _oracle_budget: object = _UNSET
     _config: Optional[EverestConfig] = None
     _deterministic_timing: bool = False
+    _window_seconds: Optional[float] = None
 
     # -- clauses -------------------------------------------------------
     def topk(self, k: int) -> "Query":
@@ -87,8 +88,37 @@ class Query:
         if step is not None and not step > 0:
             raise QueryError(
                 f"window_step must be positive, got {step!r}")
+        if self._window_seconds is not None:
+            raise QueryError(
+                "tumbling windows(size=...) cannot be combined with a "
+                "sliding window(seconds=...) clause")
         return dataclasses.replace(
             self, _mode="windows", _window_size=int(size), _window_step=step)
+
+    def window(self, *, seconds: float) -> "Query":
+        """Restrict the query to the last ``seconds`` of the video.
+
+        Sliding-window semantics (DESIGN.md §13): the answer is the
+        Top-K over frames in ``[horizon - seconds, watermark)``, where
+        the horizon is the stream clock for
+        :class:`~repro.windowed.WindowedVideo` sources and the end of
+        the video otherwise. Mutually exclusive with the tumbling
+        ``windows(size=...)`` relation. On a windowed streaming session
+        the clause is implicit — every query is windowed to the
+        session's window — and an explicit value may not exceed it.
+        """
+        if isinstance(seconds, bool) \
+                or not isinstance(seconds, numbers.Real) \
+                or not float(seconds) > 0.0 \
+                or not float(seconds) < float("inf"):
+            raise QueryError(
+                f"window seconds must be a positive finite number, "
+                f"got {seconds!r}")
+        if self._mode == "windows":
+            raise QueryError(
+                "sliding window(seconds=...) cannot be combined with a "
+                "tumbling windows(size=...) relation")
+        return dataclasses.replace(self, _window_seconds=float(seconds))
 
     def oracle_budget(self, budget: Optional[int]) -> "Query":
         """Cap Phase 2 oracle invocations (``None`` = unbounded)."""
@@ -140,6 +170,7 @@ class Query:
             config.phase2.oracle_budget
             if self._oracle_budget is _UNSET else self._oracle_budget
         )
+        frame_ranges, window_seconds = self._resolve_window(mode)
         return QueryPlan(
             video_name=session.video.name,
             udf_name=session.scoring.name,
@@ -153,7 +184,47 @@ class Query:
             config=config,
             unit_costs=session.resolved_unit_costs(),
             deterministic_timing=self._deterministic_timing,
+            frame_ranges=frame_ranges,
+            window_seconds=window_seconds,
         )
+
+    def _resolve_window(self, mode):
+        """Compile the sliding-window clause to a frame range.
+
+        On a windowed video the session window applies implicitly; an
+        explicit clause may narrow but never widen it (the maintained
+        relation only covers the session window).
+        """
+        from ..video.streaming import window_frames_for
+
+        video = self.session.video
+        session_window = getattr(video, "window_frames", None)
+        seconds = self._window_seconds
+        if seconds is None and session_window is None:
+            return None, None
+        if mode != "frames":  # pragma: no cover - clauses reject earlier
+            raise QueryError(
+                "sliding windows require the frame relation")
+        num_frames = len(video)
+        horizon = int(getattr(video, "horizon", num_frames))
+        if seconds is None:
+            window_frames = session_window
+            seconds = float(video.window_seconds)
+        else:
+            window_frames = window_frames_for(seconds, video.fps)
+            if session_window is not None \
+                    and window_frames > session_window:
+                raise QueryError(
+                    f"window of {seconds:g}s ({window_frames} frames) is "
+                    f"wider than the session window "
+                    f"({session_window} frames); the maintained relation "
+                    f"does not cover it")
+        lo = max(0, horizon - window_frames)
+        if lo >= num_frames:
+            raise QueryError(
+                f"window of {seconds:g}s has fully expired: it starts at "
+                f"frame {lo} but the stream has only {num_frames} frames")
+        return ((lo, num_frames),), float(seconds)
 
     def explain(self) -> str:
         """The compiled plan, rendered for humans."""
@@ -185,11 +256,11 @@ class Query:
         """Re-target this query's parameters at a whole corpus.
 
         Returns a :class:`~repro.corpus.query.CorpusQuery` carrying
-        this builder's K, guarantee, budget, config override and
-        timing mode — the federated equivalent of the same query. The
-        session is dropped (the corpus owns one per member); window
-        clauses do not transfer, since window aggregation across shard
-        boundaries is undefined.
+        this builder's K, guarantee, budget, config override, timing
+        mode and sliding-window clause — the federated equivalent of
+        the same query. The session is dropped (the corpus owns one
+        per member); tumbling window clauses do not transfer, since
+        window aggregation across shard boundaries is undefined.
         """
         from ..corpus.corpus import VideoCorpus
         from ..corpus.query import CorpusQuery
@@ -208,6 +279,7 @@ class Query:
             _oracle_budget=self._oracle_budget,
             _config=self._config,
             _deterministic_timing=self._deterministic_timing,
+            _window_seconds=self._window_seconds,
         )
 
     def subscribe(self):

@@ -14,6 +14,8 @@ without touching the callers.
 
 from __future__ import annotations
 
+import dataclasses
+import numbers
 import re
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -128,6 +130,67 @@ def format_udf_spec(name: str, arg: Optional[str] = None) -> str:
 _parse_udf_spec = parse_udf_spec
 
 
+def parse_window_seconds(text: str, spec: Optional[str] = None) -> float:
+    """Parse the value of a ``?window=`` suffix into seconds.
+
+    Raises :class:`~repro.errors.ConfigurationError` (a
+    :class:`ValueError`) on anything that is not a positive finite
+    number — never a bare ``float`` conversion error.
+    """
+    context = f" in query spec {spec!r}" if spec is not None else ""
+    if not isinstance(text, str) or not text or text.strip() != text:
+        raise ConfigurationError(
+            f"malformed window value {text!r}{context}; expected a "
+            f"positive number of seconds")
+    try:
+        value = float(text)
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"malformed window value {text!r}{context}; expected a "
+            f"positive number of seconds") from error
+    if not value > 0.0 or not value < float("inf"):
+        raise ConfigurationError(
+            f"window value {text!r}{context} must be a positive finite "
+            f"number of seconds")
+    return value
+
+
+def format_window_seconds(seconds) -> str:
+    """The canonical ``?window=`` value for ``seconds``.
+
+    Integral windows render without a decimal point (``"300"``), the
+    rest through ``repr`` — both parse back to exactly the same float,
+    so ``parse_window_seconds(format_window_seconds(w)) == w``.
+    """
+    if isinstance(seconds, bool) or not isinstance(seconds, numbers.Real) \
+            or not float(seconds) > 0.0 \
+            or not float(seconds) < float("inf"):
+        raise ConfigurationError(
+            f"window seconds must be a positive finite number, "
+            f"got {seconds!r}")
+    value = float(seconds)
+    return str(int(value)) if value == int(value) else repr(value)
+
+
+def split_window_param(spec: str) -> Tuple[str, Optional[float]]:
+    """Split an optional ``?window=<seconds>`` suffix off a spec.
+
+    Returns ``(base_spec, window_seconds_or_None)``. Only the *last*
+    ``?`` can introduce the suffix, and only when followed by
+    ``window=`` — a stray ``?`` anywhere else is left in the base spec
+    for the name grammar to reject (names cannot contain ``?``), so
+    malformed specs still fail with a clean error.
+    """
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"query spec must be a string, got {type(spec).__name__}")
+    head, sep, tail = spec.rpartition("?")
+    if not sep or not tail.startswith("window="):
+        return spec, None
+    value = tail[len("window="):]
+    return head, parse_window_seconds(value, spec)
+
+
 def parse_corpus_spec(spec: str) -> Tuple[str, Tuple[str, ...]]:
     """Split ``"count[car]@{a,b}"`` into ``(udf_spec, member_names)``.
 
@@ -194,27 +257,39 @@ class QuerySpec:
     The gateway's one-string addressing scheme: either the session
     form ``"count[car]/taipei-bus"`` (UDF spec + video name) or the
     corpus form ``"count[car]@{a,b}"`` (UDF spec + member list).
-    Exactly one of ``video`` / ``members`` is set.
+    Exactly one of ``video`` / ``members`` is set. Either form may
+    carry a sliding-window suffix: ``"count[car]/traffic?window=300"``
+    (seconds, DESIGN.md §13).
     """
 
     udf: str
     video: Optional[str] = None
     members: Tuple[str, ...] = ()
+    window_seconds: Optional[float] = None
 
     @property
     def kind(self) -> str:
         return "corpus" if self.members else "video"
 
+    def without_window(self) -> "QuerySpec":
+        """This target with the window suffix dropped (cache keys:
+        sessions are shared across windows of the same footage)."""
+        if self.window_seconds is None:
+            return self
+        return dataclasses.replace(self, window_seconds=None)
+
     def canonical(self) -> str:
         """The canonical wire string (see :func:`format_query_spec`)."""
         if self.members:
-            return format_corpus_spec(self.udf, self.members)
-        spec = f"{self.udf}/{self.video}"
+            spec = format_corpus_spec(self.udf, self.members)
+        else:
+            spec = f"{self.udf}/{self.video}"
+        if self.window_seconds is not None:
+            spec += f"?window={format_window_seconds(self.window_seconds)}"
         parsed = parse_query_spec(spec)
         if parsed != self:
             raise ConfigurationError(
-                f"({self.udf!r}, {self.video!r}) does not round-trip "
-                f"through {spec!r}")
+                f"{self!r} does not round-trip through {spec!r}")
         return spec
 
 
@@ -224,27 +299,28 @@ def parse_query_spec(spec: str) -> QuerySpec:
     ``"count[car]/taipei-bus"`` names one video (the half after the
     *last* slash — UDF bracket arguments may themselves contain
     slashes); ``"count[car]@{a,b}"`` names a corpus (whitespace inside
-    the member list is normalized away). Raises
-    :class:`~repro.errors.ConfigurationError` (a :class:`ValueError`)
-    on anything outside either grammar.
+    the member list is normalized away). A trailing
+    ``?window=<seconds>`` on either form sets the sliding window.
+    Raises :class:`~repro.errors.ConfigurationError` (a
+    :class:`ValueError`) on anything outside the grammar.
     """
-    if not isinstance(spec, str):
-        raise ConfigurationError(
-            f"query spec must be a string, got {type(spec).__name__}")
-    if _CORPUS_SPEC.match(spec):
-        udf_spec, members = parse_corpus_spec(spec)
-        return QuerySpec(udf=udf_spec, members=members)
-    if "/" in spec:
-        udf_spec, video = spec.rsplit("/", 1)
+    base, window = split_window_param(spec)
+    if _CORPUS_SPEC.match(base):
+        udf_spec, members = parse_corpus_spec(base)
+        return QuerySpec(
+            udf=udf_spec, members=members, window_seconds=window)
+    if "/" in base:
+        udf_spec, video = base.rsplit("/", 1)
         parse_udf_spec(udf_spec)  # validates; raises ConfigurationError
         if not _MEMBER_NAME.match(video):
             raise ConfigurationError(
                 f"invalid video name {video!r} in query spec {spec!r}; "
                 f"names must match [A-Za-z0-9_-]+")
-        return QuerySpec(udf=udf_spec, video=video)
+        return QuerySpec(udf=udf_spec, video=video, window_seconds=window)
     raise ConfigurationError(
         f"malformed query spec {spec!r}; expected 'udf/video' or "
-        f"'udf@{{member,member,...}}'")
+        f"'udf@{{member,member,...}}', optionally with a "
+        f"'?window=<seconds>' suffix")
 
 
 def format_query_spec(
@@ -252,19 +328,24 @@ def format_query_spec(
     *,
     video: Optional[str] = None,
     members=None,
+    window_seconds: Optional[float] = None,
 ) -> str:
     """The canonical wire string for a UDF plus one target.
 
     Inverse of :func:`parse_query_spec` for every valid combination;
     raises :class:`~repro.errors.ConfigurationError` when the parts
-    cannot round-trip (both or neither target, bad names).
+    cannot round-trip (both or neither target, bad names, bad window).
     """
     if (video is None) == (members is None):
         raise ConfigurationError(
             "format_query_spec needs exactly one of video= / members=")
     if members is not None:
-        return format_corpus_spec(udf_spec, members)
-    return QuerySpec(udf=udf_spec, video=video).canonical()
+        return QuerySpec(
+            udf=udf_spec, members=tuple(members),
+            window_seconds=window_seconds).canonical()
+    return QuerySpec(
+        udf=udf_spec, video=video,
+        window_seconds=window_seconds).canonical()
 
 
 def resolve_query_spec(
@@ -281,7 +362,7 @@ def resolve_query_spec(
     :class:`~repro.corpus.corpus.VideoCorpus`. Extra keyword arguments
     forward to the video builder(s).
     """
-    parsed = parse_query_spec(spec)
+    parsed = parse_query_spec(spec).without_window()
     if parsed.kind == "corpus":
         return resolve_corpus(
             parsed.canonical(), config=config, unit_costs=unit_costs,

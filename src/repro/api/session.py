@@ -256,6 +256,7 @@ class Session:
         streaming=None,
         autosave_path=None,
         score_cache=None,
+        window_seconds: Optional[float] = None,
         **video_kwargs,
     ):
         """Open a streaming session over a growing video (DESIGN.md §7).
@@ -270,8 +271,16 @@ class Session:
         ``append(n)`` reveals frames, ``query()...subscribe()`` yields
         a report per append, ``checkpoint(path)`` persists the Phase-1
         artifacts.
+
+        ``window_seconds`` opens a sliding-window session instead
+        (:class:`~repro.windowed.WindowedSession`, DESIGN.md §13):
+        answers cover only the last ``window_seconds`` of stream time,
+        ``tick(frames)`` expires frames without arrivals, and every
+        subscription delivers one report per append *and* per tick.
         """
         from ..streaming.session import StreamingSession
+        from ..windowed.session import WindowedSession
+        from ..windowed.view import WindowedVideo
         from .registry import resolve_udf, resolve_video
 
         if isinstance(video, str):
@@ -282,6 +291,13 @@ class Session:
                 "not a video object")
         if isinstance(scoring, str):
             scoring = resolve_udf(scoring)
+        if window_seconds is not None or isinstance(video, WindowedVideo):
+            return WindowedSession(
+                video, scoring, window_seconds=window_seconds,
+                initial_frames=initial_frames,
+                config=config, unit_costs=unit_costs,
+                streaming=streaming, autosave_path=autosave_path,
+                score_cache=score_cache)
         # initial_frames is forwarded unconditionally: the constructor
         # validates the (StreamingVideo, initial_frames) combinations.
         return StreamingSession(

@@ -22,6 +22,7 @@ from .uncertain import (
     build_relation,
     grid_for,
     quantize_mixtures,
+    restrict_relation,
 )
 from .topk_prob import ConfidenceState
 from .select_candidate import CandidateSelector, SelectionStats
@@ -44,6 +45,7 @@ __all__ = [
     "build_relation",
     "grid_for",
     "quantize_mixtures",
+    "restrict_relation",
     "ConfidenceState",
     "CandidateSelector",
     "SelectionStats",

@@ -260,6 +260,29 @@ class UncertainRelation:
         return clone
 
 
+def restrict_relation(
+    relation: UncertainRelation,
+    ranges: Sequence[Tuple[int, int]],
+) -> UncertainRelation:
+    """Row-restrict a relation to frame ids inside any ``[lo, hi)`` range.
+
+    The sliding-window primitive (DESIGN.md §13): row order, pmf/cdf
+    rows, certainty flags and — crucially — the quantization grid are
+    all preserved, so restricting a full-prefix relation is bitwise
+    equal to building the window's rows directly on the same grid.
+    Always returns fresh arrays (cleaning mutates the result in place).
+    """
+    mask = np.zeros(relation.ids.size, dtype=bool)
+    for lo, hi in ranges:
+        mask |= (relation.ids >= int(lo)) & (relation.ids < int(hi))
+    clone = UncertainRelation(
+        relation.ids[mask], relation.pmf[mask], relation.grid)
+    clone.certain = relation.certain[mask].copy()
+    clone.exact_scores = relation.exact_scores[mask].copy()
+    clone.cdf = relation.cdf[mask].copy()
+    return clone
+
+
 def build_relation(
     ids: Sequence[int],
     mixtures: GaussianMixture,
@@ -268,26 +291,30 @@ def build_relation(
     step: float,
     known_scores: Optional[Dict[int, float]] = None,
     truncate_sigmas: float = 3.0,
+    grid: Optional[QuantizationGrid] = None,
 ) -> UncertainRelation:
     """Build D0 from proxy mixtures plus already-known exact scores.
 
     ``ids`` aligns with ``mixtures`` rows. Frames present in
     ``known_scores`` (the Phase 1 training / holdout samples) are
     inserted as certain tuples; extra known frames not in ``ids`` are
-    appended.
+    appended. An explicit ``grid`` overrides :func:`grid_for` — how the
+    windowed maintainer reproduces the full-prefix grid while only
+    materializing the window's mixtures (DESIGN.md §13).
     """
     known_scores = dict(known_scores or {})
     ids = [int(i) for i in ids]
     extra_ids = sorted(set(known_scores) - set(ids))
     all_scores = list(known_scores.values())
 
-    grid = grid_for(
-        mixtures,
-        floor=floor,
-        step=step,
-        extra_scores=all_scores,
-        truncate_sigmas=truncate_sigmas,
-    )
+    if grid is None:
+        grid = grid_for(
+            mixtures,
+            floor=floor,
+            step=step,
+            extra_scores=all_scores,
+            truncate_sigmas=truncate_sigmas,
+        )
     pmf = quantize_mixtures(mixtures, grid, truncate_sigmas=truncate_sigmas)
     if extra_ids:
         pmf = np.vstack([pmf, np.zeros((len(extra_ids), grid.num_levels))])

@@ -16,8 +16,10 @@ execution byte-comparable to a plain run of the compiled plan::
 
 ``shard_budget`` adds per-member oracle caps on top of the global
 budget; ``subscribe`` maintains the answer live over streaming
-members. Window clauses are deliberately absent — window aggregation
-across shard boundaries is undefined.
+members. Sliding ``window(seconds=...)`` clauses restrict every member
+to its own last-N-seconds range (one plan range per shard, in global
+ids); *tumbling* window clauses are deliberately absent — tumbling
+aggregation across shard boundaries is undefined.
 """
 
 from __future__ import annotations
@@ -50,6 +52,7 @@ class CorpusQuery:
     _shard_budgets: Tuple[Tuple[str, int], ...] = ()
     _config: Optional[EverestConfig] = None
     _deterministic_timing: bool = False
+    _window_seconds: Optional[float] = None
 
     # -- clauses -------------------------------------------------------
     def topk(self, k: int) -> "CorpusQuery":
@@ -111,6 +114,23 @@ class CorpusQuery:
         return dataclasses.replace(
             self, _deterministic_timing=bool(enabled))
 
+    def window(self, *, seconds: float) -> "CorpusQuery":
+        """Restrict every member to its last ``seconds`` of stream time.
+
+        The compiled plan carries one ``[lo, hi)`` range per member in
+        the corpus's concatenated frame namespace; members with a
+        stream horizon (windowed streaming sessions) window relative to
+        it, sealed members relative to their end (DESIGN.md §13).
+        """
+        if isinstance(seconds, bool) \
+                or not isinstance(seconds, numbers.Real) \
+                or not float(seconds) > 0.0 \
+                or not float(seconds) < float("inf"):
+            raise QueryError(
+                f"window seconds must be a positive finite number, "
+                f"got {seconds!r}")
+        return dataclasses.replace(self, _window_seconds=float(seconds))
+
     # -- compilation and execution -------------------------------------
     def plan(self) -> QueryPlan:
         """Compile to a plan over the corpus's concatenated namespace."""
@@ -134,7 +154,33 @@ class CorpusQuery:
             config=config,
             unit_costs=corpus.resolved_unit_costs(),
             deterministic_timing=self._deterministic_timing,
+            frame_ranges=self._member_ranges(),
+            window_seconds=self._window_seconds,
         )
+
+    def _member_ranges(self):
+        """One global-id ``[lo, hi)`` window range per member, or None."""
+        from ..video.streaming import window_frames_for
+
+        if self._window_seconds is None:
+            return None
+        corpus = self.corpus
+        ranges = []
+        for member, offset in zip(corpus.members, corpus.offsets()):
+            video = member.video
+            num_frames = len(video)
+            horizon = int(getattr(video, "horizon", num_frames))
+            window_frames = window_frames_for(
+                self._window_seconds, video.fps)
+            lo = max(0, horizon - window_frames)
+            if lo >= num_frames:
+                raise QueryError(
+                    f"window of {self._window_seconds:g}s has fully "
+                    f"expired on member {member.name!r}: it starts at "
+                    f"frame {lo} but the member has only "
+                    f"{num_frames} frames")
+            ranges.append((int(offset) + lo, int(offset) + num_frames))
+        return tuple(ranges)
 
     def explain(self) -> str:
         """The compiled plan plus the shard map, rendered for humans."""

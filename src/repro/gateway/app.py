@@ -18,9 +18,13 @@ Routes::
     POST /query    -> 202 {"id": ...}        (or 429/400/503)
     GET  /result/q00000001 -> 200 pending|done|failed (410 expired)
     GET  /trace/q00000001  -> 200 span tree  (404 untraced/rotated)
-    POST /stream   -> 201 opened             (409 duplicate id)
+    POST /stream   -> 201 opened             (409 duplicate id;
+                                              'window' opens sliding)
     POST /append   -> 200 applied            (429 refresh refused,
                                               frames still applied)
+    POST /tick     -> 200 applied            (windowed streams only:
+                                              advance the clock,
+                                              expire old frames)
     GET  /metrics  -> 200 Prometheus text
     GET  /stats    -> 200 ServiceStats JSON
     GET  /healthz  -> 200 {"ok": true}
@@ -58,7 +62,12 @@ from ..service.service import QueryService
 from .metrics import GatewayMetrics
 from .quotas import QuotaBook, QuotaPolicy
 from .results import ResultStore
-from .wire import AppendRequest, QueryRequest, StreamRequest
+from .wire import (
+    AppendRequest,
+    QueryRequest,
+    StreamRequest,
+    TickRequest,
+)
 
 Clock = Callable[[], float]
 
@@ -160,6 +169,8 @@ class Gateway:
             return self.open_stream(body)
         if path == "/append" and method == "POST":
             return self.append(body)
+        if path == "/tick" and method == "POST":
+            return self.tick(body)
         if path == "/metrics" and method == "GET":
             return 200, self.metrics.render(self.service.stats())
         if path == "/stats" and method == "GET":
@@ -171,7 +182,7 @@ class Gateway:
                 "streams": len(self._streams),
             }
         known = {"/query", "/result/<id>", "/trace/<id>", "/stream",
-                 "/append", "/metrics", "/stats", "/healthz"}
+                 "/append", "/tick", "/metrics", "/stats", "/healthz"}
         prefixed = {"/result/<id>": "/result/", "/trace/<id>": "/trace/"}
         for route in known:
             prefix = prefixed.get(route)
@@ -317,20 +328,24 @@ class Gateway:
         cross-tenant Phase-1 and score-cache sharing (and scheduler
         batching by ``(session, phase1_key)``) happen for wire
         traffic exactly as for in-process ``service.submit`` calls.
+        The key drops any ``?window=`` suffix: a sliding window is a
+        query clause, not a different session, so windowed and
+        unwindowed traffic over one video share Phase 1.
         """
+        cache_key = request.spec.without_window().canonical()
         with self._lock:
-            target = self._targets.get(request.spec_string)
+            target = self._targets.get(cache_key)
         if target is not None:
             return target
         config = self.config.session_config
         built = resolve_query_spec(
-            request.spec_string,
+            cache_key,
             config=config if config is not None else EverestConfig.fast(),
             **self.config.video_kwargs,
         )
         with self._lock:
             # Lost a build race: keep the first, drop ours.
-            target = self._targets.setdefault(request.spec_string, built)
+            target = self._targets.setdefault(cache_key, built)
         if target is built and request.spec.kind == "video":
             self.service.adopt_session(target)
         return target
@@ -354,6 +369,9 @@ class Gateway:
                                f"already open",
                 }
         config = self.config.session_config
+        open_kwargs = {}
+        if request.window_seconds is not None:
+            open_kwargs["window_seconds"] = request.window_seconds
         stream = self.service.open_stream(
             request.spec.video,
             request.spec.udf,
@@ -361,6 +379,7 @@ class Gateway:
             tenant=request.tenant,
             config=config if config is not None else EverestConfig.fast(),
             video_kwargs=dict(self.config.video_kwargs),
+            **open_kwargs,
         )
         live = stream.query().topk(request.k) \
             .guarantee(request.guarantee).subscribe()
@@ -379,13 +398,20 @@ class Gateway:
                 "message": f"stream {request.stream_id!r} is "
                            f"already open",
             }
-        return 201, {
+        payload = {
             "stream": request.stream_id,
             "tenant": request.tenant,
             "spec": request.spec_string,
             "watermark": stream.watermark,
             "report_json": live.latest.to_json(),
         }
+        if request.window_seconds is not None:
+            payload.update(
+                window_seconds=request.window_seconds,
+                window_frames=stream.window_frames,
+                window_lo=stream.window_lo,
+            )
+        return 201, payload
 
     def append(self, body) -> Response:
         """``POST /append``: reveal frames, fully-applied semantics.
@@ -444,6 +470,59 @@ class Gateway:
                 return status, payload
         self.metrics.count_append(request.tenant, request.frames)
         self.metrics.observe_latency("append", self._clock() - started)
+        payload = result.to_dict()
+        payload.update(applied=True, stream=request.stream_id)
+        return 200, payload
+
+    def tick(self, body) -> Response:
+        """``POST /tick``: advance a windowed stream's clock (expiry).
+
+        Same fully-applied contract as ``/append``: a quota refusal
+        happens before the clock moves (``applied: false``, re-send
+        the tick); once the horizon advanced, any downstream refresh
+        refusal reports ``applied: true, retryable: true`` and only
+        the refresh is the retry. Ticking an unwindowed stream is a
+        400 — expiry only exists where a window does.
+        """
+        request = TickRequest.from_body(body)
+        with self._lock:
+            state = self._streams.get(request.stream_id)
+        if state is None:
+            raise KeyError(
+                f"no open stream {request.stream_id!r}; "
+                f"POST /stream first")
+        if not hasattr(state.stream, "tick"):
+            raise QueryError(
+                f"stream {request.stream_id!r} has no sliding window; "
+                f"open it with a 'window' field (or '?window=' spec "
+                f"suffix) to enable /tick")
+        try:
+            self.quotas.admit_append(request.tenant)
+        except QuotaExceededError as error:
+            self.metrics.count_append_rejected(
+                request.tenant, error.reason)
+            self.service.count_rejection(request.tenant, error.reason)
+            raise
+        started = self._clock()
+        with state.lock:
+            before = state.stream.horizon
+            try:
+                result = state.stream.tick(request.frames)
+            except BaseException as error:  # noqa: BLE001 - wire boundary
+                applied = state.stream.horizon > before
+                if not applied:
+                    raise
+                # The clock moved; only the refresh pass failed.
+                self.metrics.count_append_error(request.tenant)
+                status, payload = self._error_response(error)
+                payload.update(
+                    applied=True,
+                    retryable=True,
+                    stream=request.stream_id,
+                    horizon=state.stream.horizon,
+                )
+                return status, payload
+        self.metrics.observe_latency("tick", self._clock() - started)
         payload = result.to_dict()
         payload.update(applied=True, stream=request.stream_id)
         return 200, payload

@@ -120,7 +120,13 @@ class QueryRequest:
             window_step = float(window_step)
         if spec.kind == "corpus" and window_size is not None:
             raise ConfigurationError(
-                "corpus queries rank frames; window is not supported")
+                "corpus queries rank frames; tumbling window is not "
+                "supported")
+        if spec.window_seconds is not None and window_size is not None:
+            raise ConfigurationError(
+                "a '?window=' spec suffix (sliding, seconds) cannot be "
+                "combined with the 'window' body field (tumbling, "
+                "frames)")
 
         return cls(
             tenant=parse_tenant(body),
@@ -144,6 +150,8 @@ class QueryRequest:
         if self.window_size is not None:
             query = query.windows(
                 self.window_size, step=self.window_step)
+        if self.spec.window_seconds is not None:
+            query = query.window(seconds=self.spec.window_seconds)
         if self.oracle_budget is not None:
             query = query.oracle_budget(self.oracle_budget)
         return query
@@ -161,9 +169,12 @@ class StreamRequest:
     #: Standing subscription refreshed on every append.
     k: int = 10
     guarantee: float = 0.9
+    #: Sliding window in seconds (None = unwindowed stream). Set via
+    #: the 'window' body field or a '?window=' spec suffix.
+    window_seconds: Optional[float] = None
 
     FIELDS = ("tenant", "stream", "spec", "initial_frames", "k",
-              "guarantee")
+              "guarantee", "window")
 
     @classmethod
     def from_body(cls, body) -> "StreamRequest":
@@ -192,6 +203,24 @@ class StreamRequest:
                 not 0.0 < float(guarantee) <= 1.0:
             raise ConfigurationError(
                 f"guarantee must be a number in (0, 1], got {guarantee!r}")
+        window = body.get("window")
+        if window is not None:
+            if isinstance(window, bool) or \
+                    not isinstance(window, numbers.Real) or \
+                    not float(window) > 0 or \
+                    not float(window) < float("inf"):
+                raise ConfigurationError(
+                    f"window must be a positive finite number of "
+                    f"seconds, got {window!r}")
+            window = float(window)
+            if spec.window_seconds is not None \
+                    and spec.window_seconds != window:
+                raise ConfigurationError(
+                    f"window={window!r} conflicts with the spec's "
+                    f"'?window={spec.window_seconds:g}' suffix; give "
+                    f"the window once")
+        if window is None:
+            window = spec.window_seconds
         return cls(
             tenant=parse_tenant(body),
             stream_id=stream_id.strip(),
@@ -200,6 +229,7 @@ class StreamRequest:
             initial_frames=initial,
             k=_parse_positive_int(body, "k", 10),
             guarantee=float(guarantee),
+            window_seconds=window,
         )
 
 
@@ -225,6 +255,36 @@ class AppendRequest:
         if frames is None:
             raise ConfigurationError(
                 "request is missing 'frames' (how many to reveal)")
+        return cls(
+            tenant=parse_tenant(body),
+            stream_id=stream_id.strip(),
+            frames=frames,
+        )
+
+
+@dataclass(frozen=True)
+class TickRequest:
+    """A validated ``POST /tick`` body (expiry on a windowed stream)."""
+
+    tenant: str
+    stream_id: str
+    frames: int
+
+    FIELDS = ("tenant", "stream", "frames")
+
+    @classmethod
+    def from_body(cls, body) -> "TickRequest":
+        body = _require_mapping(body)
+        _no_unknown_fields(body, cls.FIELDS)
+        stream_id = body.get("stream")
+        if not isinstance(stream_id, str) or not stream_id.strip():
+            raise ConfigurationError(
+                f"stream must be a non-empty string id, got {stream_id!r}")
+        frames = _parse_positive_int(body, "frames")
+        if frames is None:
+            raise ConfigurationError(
+                "request is missing 'frames' (how far to advance the "
+                "stream clock)")
         return cls(
             tenant=parse_tenant(body),
             stream_id=stream_id.strip(),

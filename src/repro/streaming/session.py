@@ -259,18 +259,28 @@ class StreamingSession(Session):
             wall_seconds=time.perf_counter() - started,
         )
         self._append_log.append(result)
-        limit = self.streaming.max_history
-        if limit is not None:
-            # Bound the per-append history (and hence checkpoint size)
-            # on indefinite streams; the latest answers always survive.
-            del self._append_log[:-limit]
-            for subscription in self._subscriptions:
-                subscription.trim(limit)
+        self._trim_history()
         if self.autosave_path is not None:
             self.checkpoint(self.autosave_path)
         if refresh_error is not None:
             raise refresh_error
         return result
+
+    def _trim_history(self) -> None:
+        """Bound per-event history under ``max_history``.
+
+        Trims only *delivered* results — the append log and each
+        subscription's report history (the latest always survives).
+        Phase-1 bookkeeping and, on windowed sessions, the window's
+        own frame set are never touched: history pruning must not
+        evict frames still inside an open window (DESIGN.md §13).
+        """
+        limit = self.streaming.max_history
+        if limit is None:
+            return
+        del self._append_log[:-limit]
+        for subscription in self._subscriptions:
+            subscription.trim(limit)
 
     def _refresh_subscriptions(self):
         """One refresh pass over every subscription (see append)."""
@@ -416,18 +426,7 @@ class StreamingSession(Session):
         session re-serves its watermark with zero Phase-1 oracle calls.
         """
         self._ensure_bootstrap()
-        state = {
-            "video": self.video,
-            "scoring": self.scoring,
-            "config": self.config,
-            "user_unit_costs": self._user_unit_costs,
-            "streaming": self.streaming,
-            "autosave_path": self.autosave_path,
-            "incremental": self._incremental,
-            "cache": self._cache,
-            "stats": self.stats,
-            "append_log": self._append_log,
-        }
+        state = self._checkpoint_state()
         write_checkpoint(
             path,
             state,
@@ -440,6 +439,24 @@ class StreamingSession(Session):
             },
         )
 
+    def _checkpoint_state(self) -> Dict[str, object]:
+        """The pickled state dict (subclasses add their own fields)."""
+        return {
+            "video": self.video,
+            "scoring": self.scoring,
+            "config": self.config,
+            "user_unit_costs": self._user_unit_costs,
+            "streaming": self.streaming,
+            "autosave_path": self.autosave_path,
+            "incremental": self._incremental,
+            "cache": self._cache,
+            "stats": self.stats,
+            "append_log": self._append_log,
+        }
+
+    def _restore_extra(self, state: Dict[str, object]) -> None:
+        """Splice subclass-only checkpoint fields back in (hook)."""
+
     @classmethod
     def resume(cls, path) -> "StreamingSession":
         """Warm-start a session from a checkpoint directory."""
@@ -451,6 +468,14 @@ class StreamingSession(Session):
         except KeyError as error:  # pragma: no cover - corrupt state
             raise CheckpointError(
                 f"checkpoint state is missing field {error}") from error
+        if cls is StreamingSession:
+            # A checkpointed windowed session resumes as one even when
+            # restored through the base class.
+            from ..windowed.session import WindowedSession
+            from ..windowed.view import WindowedVideo
+
+            if isinstance(video, WindowedVideo):
+                cls = WindowedSession
         session = cls(
             video,
             scoring,
@@ -467,5 +492,6 @@ class StreamingSession(Session):
         session._incremental = state["incremental"]
         session._label_oracle = session._incremental.label_oracle
         session._append_log = list(state.get("append_log", []))
+        session._restore_extra(state)
         session._entry = session._incremental.rebuild_entry()
         return session

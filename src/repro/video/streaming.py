@@ -20,6 +20,7 @@ with a pinned training prefix, bit-identical) to batch re-runs.
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
@@ -28,6 +29,23 @@ import numpy as np
 from ..errors import ConfigurationError, VideoError
 from .frame import BoundingBox, Frame
 from .synthetic import SyntheticVideo
+
+
+def window_frames_for(seconds: float, fps: float) -> int:
+    """Sliding-window length in frames for ``seconds`` of video.
+
+    The single rounding rule shared by every layer (query builder,
+    windowed view, corpus clause), so a window given in seconds always
+    resolves to the same frame count on both the live and the batch
+    side of an equivalence check.
+    """
+    if isinstance(seconds, bool) or not isinstance(seconds, numbers.Real) \
+            or not float(seconds) > 0.0 \
+            or not float(seconds) < float("inf"):
+        raise ConfigurationError(
+            f"window seconds must be a positive finite number, "
+            f"got {seconds!r}")
+    return max(1, int(round(float(seconds) * float(fps))))
 
 
 @dataclass(frozen=True)

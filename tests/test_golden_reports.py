@@ -37,8 +37,9 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "data"
 SWEEPS = ("fig5_quick", "fig6_quick", "fig7_quick", "fig9_quick")
 
 #: Every recorded fixture, including the 3-shard federated corpus
-#: sweep (which runs through its own engine, not ParallelRunner).
-ALL_FIXTURES = SWEEPS + ("corpus_quick",)
+#: sweep and the sliding-window stream (which run through their own
+#: engines, not ParallelRunner).
+ALL_FIXTURES = SWEEPS + ("corpus_quick", "window_quick")
 
 
 def _dump(reports) -> str:
@@ -190,6 +191,40 @@ def test_corpus_golden_equals_concatenated_reference(golden_corpus):
     ]
     fixture = (GOLDEN_DIR / "corpus_quick.json").read_text()
     assert _dump(reports) == fixture
+
+
+# ----------------------------------------------------------------------
+# The sliding-window stream (DESIGN.md §13): one report per insert
+# (append) and per expiry (tick), recorded in event order.
+
+WINDOW_EVENTS = (
+    ("append", 150), ("tick", 64), ("append", 150), ("tick", 64))
+
+
+@pytest.fixture(scope="module")
+def window_reports():
+    stream = Session.open_stream(
+        TrafficVideo("golden-win", 600, seed=13), counting_udf("car"),
+        initial_frames=300, window_seconds=256 / 30.0,
+        config=EverestConfig.fast())
+    live = stream.query().topk(4).guarantee(0.9) \
+        .deterministic_timing().subscribe()
+    for kind, size in WINDOW_EVENTS:
+        if kind == "append":
+            stream.append(size)
+        else:
+            stream.tick(size)
+    reports = list(live.reports)
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        (GOLDEN_DIR / "window_quick.json").write_text(_dump(reports))
+    return reports
+
+
+def test_windowed_stream_matches_golden_fixture(window_reports):
+    fixture = (GOLDEN_DIR / "window_quick.json").read_text()
+    assert len(window_reports) == len(WINDOW_EVENTS) + 1
+    assert _dump(window_reports) == fixture
 
 
 def test_query_service_reproduces_golden_fixtures(golden_plans):

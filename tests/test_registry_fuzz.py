@@ -313,6 +313,107 @@ def test_format_query_spec_needs_exactly_one_target():
 
 
 # ----------------------------------------------------------------------
+# Sliding-window suffix: ``...?window=<seconds>`` (DESIGN.md §13).
+
+positive_seconds = st.floats(
+    min_value=0, exclude_min=True, allow_nan=False,
+    allow_infinity=False)
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(seconds=positive_seconds)
+def test_window_seconds_format_parse_bijection(seconds):
+    from repro.api.registry import (
+        format_window_seconds,
+        parse_window_seconds,
+    )
+
+    text = format_window_seconds(seconds)
+    assert parse_window_seconds(text) == seconds
+    # Formatting is idempotent through a second cycle.
+    assert format_window_seconds(parse_window_seconds(text)) == text
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(name=valid_names, arg=st.one_of(st.none(), valid_args),
+       video=valid_names, seconds=positive_seconds)
+def test_windowed_query_specs_round_trip(name, arg, video, seconds):
+    udf_spec = format_udf_spec(name, arg)
+    spec = format_query_spec(
+        udf_spec, video=video, window_seconds=seconds)
+    parsed = parse_query_spec(spec)
+    assert parsed.kind == "video"
+    assert (parsed.udf, parsed.video) == (udf_spec, video)
+    assert parsed.window_seconds == seconds
+    assert parsed.canonical() == spec
+    # Dropping the window recovers exactly the unwindowed spec.
+    bare = parsed.without_window()
+    assert bare.window_seconds is None
+    assert bare.canonical() == format_query_spec(udf_spec, video=video)
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(name=valid_names, arg=st.one_of(st.none(), corpus_safe_args),
+       members=member_lists, seconds=positive_seconds)
+def test_windowed_corpus_specs_round_trip(name, arg, members, seconds):
+    udf_spec = format_udf_spec(name, arg)
+    spec = format_query_spec(
+        udf_spec, members=members, window_seconds=seconds)
+    parsed = parse_query_spec(spec)
+    assert parsed.kind == "corpus"
+    assert parsed.window_seconds == seconds
+    assert parsed.canonical() == spec
+
+
+@settings(max_examples=300, deadline=None, derandomize=True)
+@given(base=st.text(max_size=40), tail=st.text(max_size=20))
+def test_arbitrary_window_suffixes_parse_or_raise_cleanly(base, tail):
+    spec = f"{base}?window={tail}"
+    try:
+        parsed = parse_query_spec(spec)
+    except ConfigurationError as error:
+        assert isinstance(error, ValueError)
+        assert str(error)
+        return
+    assert parsed.window_seconds is not None
+    assert parse_query_spec(parsed.canonical()) == parsed
+
+
+@pytest.mark.parametrize("value", [
+    "", "abc", "-3", "0", "nan", "inf", "-inf", " 5", "5 ", "1e1000",
+    "0x10", "1,5", "window=5",
+])
+def test_malformed_window_values_raise_clean_valueerror(value):
+    from repro.api.registry import parse_window_seconds
+
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_window_seconds(value)
+    assert isinstance(excinfo.value, ValueError)
+    with pytest.raises(ConfigurationError):
+        parse_query_spec(f"count[car]/traffic?window={value}")
+
+
+@pytest.mark.parametrize("spec", [
+    "count[car]/traffic?window", "count[car]/traffic?",
+    "count[car]/traffic?win=5", "count[car]/traffic?window=5?window=5",
+    "?window=5", "count[car]?window=5",
+])
+def test_malformed_window_suffixes_raise(spec):
+    with pytest.raises(ConfigurationError):
+        parse_query_spec(spec)
+
+
+def test_split_window_param_leaves_foreign_tails_alone():
+    from repro.api.registry import split_window_param
+
+    assert split_window_param("a/b?window=5") == ("a/b", 5.0)
+    # A '?' tail that is not a window clause stays in the base (and is
+    # then rejected by the name grammar, which has no '?').
+    assert split_window_param("a/b?w=5") == ("a/b?w=5", None)
+    assert split_window_param("a/b") == ("a/b", None)
+
+
+# ----------------------------------------------------------------------
 # Registered families resolve to real scoring functions.
 
 @settings(max_examples=60, deadline=None, derandomize=True)

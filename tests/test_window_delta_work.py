@@ -1,0 +1,232 @@
+"""O(delta) certification for sliding-window maintenance.
+
+``test_window_equivalence.py`` certifies *what* a windowed answer is
+(batch bytes); this module certifies what it *costs*: per-event fresh
+oracle work tracks the delta, never the window length or the prefix.
+Pinned here:
+
+* every frame is fresh-confirmed at most once over a stream's whole
+  life (``CachingOracle.fresh_scores`` — memoization means no event
+  re-pays a confirmation, i.e. full-prefix re-certification is gone);
+* fresh confirmations only ever target frames inside the open window;
+* pure expiry ticks run **zero** fresh proxy inference — retraction is
+  cache eviction, not recompute;
+* the subscription's recompiled plan is window-restricted (the
+  regression pin for the old full-prefix refresh);
+* :class:`~repro.windowed.maintenance.WindowedBlockCache` eviction and
+  top-healing, unit-tested against a fake proxy (the 480-frame suite
+  video never spans two 512-frame inference blocks, so cross-block
+  eviction is exercised directly here and at scale by
+  ``benchmarks/bench_window_slide.py``);
+* hand-built window-less plans are refused by the windowed executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import EverestConfig, Session
+from repro.config import Phase1Config
+from repro.errors import QueryError
+from repro.models.mdn import GaussianMixture
+from repro.oracle import counting_udf
+from repro.streaming.phase1_incremental import (
+    INFER_BLOCK,
+    StreamingStats,
+)
+from repro.video import TrafficVideo
+from repro.windowed import WindowedBlockCache
+
+NUM_FRAMES = 480
+BOOTSTRAP = 240
+FPS = 30.0
+WINDOW_FRAMES = 200
+
+STREAM_CONFIG = EverestConfig(
+    phase1=Phase1Config(
+        sample_fraction=0.05,
+        min_train_samples=96,
+        holdout_samples=48,
+        cmdn_grid=((3, 12),),
+        epochs=15,
+    ),
+)
+
+
+def open_window_stream(window_frames: int = WINDOW_FRAMES, **kwargs):
+    return Session.open_stream(
+        TrafficVideo("window-delta", NUM_FRAMES, seed=17),
+        counting_udf("car"), initial_frames=BOOTSTRAP,
+        window_seconds=window_frames / FPS, config=STREAM_CONFIG,
+        **kwargs)
+
+
+def build_query(session):
+    return session.query().topk(3).guarantee(0.85).deterministic_timing()
+
+
+def test_each_frame_is_confirmed_at_most_once_across_events():
+    stream = open_window_stream()
+    events = [("append", 60), ("tick", 40), ("append", 120),
+              ("tick", 80), ("append", 60)]
+    fresh_by_event = []
+    # Drive a fresh executor per event (sharing the session's score
+    # cache, exactly as subscription refreshes do) so each event's
+    # CachingOracle is inspectable.
+    for kind, size in [("bootstrap", 0)] + events:
+        if kind == "append":
+            stream.append(size)
+        elif kind == "tick":
+            stream.tick(size)
+        executor = stream._executor()
+        executor.execute_fresh(build_query(stream).plan())
+        oracle = executor.last_confirm_oracle
+        fresh = dict(oracle.fresh_scores) if oracle is not None else {}
+        # Fresh work only ever touches frames inside the open window.
+        assert set(fresh) <= set(
+            range(stream.window_lo, stream.watermark))
+        fresh_by_event.append(fresh)
+    # Memoization makes the physical oracle spend delta-shaped: no
+    # frame is ever fresh-confirmed twice, across *all* events. (The
+    # old full-prefix re-certify would re-pay the standing top-k here.)
+    total = sum(len(fresh) for fresh in fresh_by_event)
+    distinct = set().union(*fresh_by_event)
+    assert total == len(distinct)
+    assert len(distinct) <= stream.watermark
+
+
+def test_pure_ticks_run_zero_fresh_inference():
+    stream = open_window_stream()
+    live = build_query(stream).subscribe()
+    stream.append(100)
+    for frames in (30, 60, 90):
+        result = stream.tick(frames)
+        # Retraction is eviction: the proxy never re-infers a frame
+        # because the window slid past other frames.
+        assert result.fresh_inferred_frames == 0
+    assert live.latest.num_tuples <= stream.video.window_size
+
+
+def test_subscription_plan_is_window_restricted():
+    stream = open_window_stream()
+    live = build_query(stream).subscribe()
+    stream.append(120)
+    stream.tick(60)
+    plan = live.query.plan()
+    # The recompiled plan's range rides the window edge — the
+    # regression pin that subscriptions stopped re-certifying the
+    # full prefix.
+    assert plan.frame_ranges == ((stream.window_lo, stream.watermark),)
+    assert plan.window_seconds == stream.window_seconds
+    assert plan.num_tuples == stream.watermark - stream.window_lo
+    assert live.latest.num_tuples <= stream.video.window_size
+    # Fresh confirmations per event were recorded alongside reports.
+    assert len(live.fresh_confirms) == len(live.reports)
+
+
+def test_windowed_executor_refuses_window_less_plans():
+    stream = open_window_stream()
+    plan = build_query(stream).plan()
+    bare = dataclasses.replace(
+        plan, frame_ranges=None, window_seconds=None)
+    with pytest.raises(QueryError):
+        stream._executor().execute_detailed(bare)
+
+
+# ----------------------------------------------------------------------
+# WindowedBlockCache unit tests (fake proxy: cross-block eviction)
+# ----------------------------------------------------------------------
+class _FakeVideo:
+    def batch_pixels(self, ids):
+        return np.asarray(ids, dtype=np.int64)
+
+
+class _FakeProxy:
+    """Mixtures whose top is the largest frame id in the batch."""
+
+    def __init__(self):
+        self.inferred = []
+
+    def predict_mixtures(self, ids) -> GaussianMixture:
+        self.inferred.append(np.asarray(ids).copy())
+        column = np.asarray(ids, dtype=np.float64).reshape(-1, 1)
+        return GaussianMixture(
+            pi=np.ones_like(column),
+            mu=column,
+            sigma=np.ones_like(column),
+        )
+
+
+def test_block_cache_evicts_expired_blocks_but_keeps_tops():
+    cache = WindowedBlockCache()
+    proxy, video = _FakeProxy(), _FakeVideo()
+    retained = np.arange(2 * INFER_BLOCK + 176, dtype=np.int64)
+    stats = StreamingStats()
+
+    mixtures, top = cache.window_state(
+        proxy, video, retained, 0, truncate_sigmas=2.0, stats=stats)
+    assert cache.cached_blocks == [0, 1, 2]
+    assert len(proxy.inferred) == 3
+    assert mixtures.mu.shape[0] == retained.size
+    # The exact grid_for term: max(mu + truncate_sigmas * sigma).
+    assert top == float(retained[-1]) + 2.0
+    assert stats.fresh_inferred_frames == retained.size
+
+    # Slide the cut past block 0: its mixtures are retracted, its top
+    # survives, and nothing is re-inferred.
+    cut = INFER_BLOCK + 88
+    mixtures, top = cache.window_state(
+        proxy, video, retained, cut, truncate_sigmas=2.0, stats=stats)
+    assert cache.cached_blocks == [1, 2]
+    assert len(proxy.inferred) == 3
+    assert mixtures.mu.shape[0] == retained.size - cut
+    assert float(mixtures.mu[0, 0]) == float(retained[cut])
+    assert top == float(retained[-1]) + 2.0
+    assert stats.fresh_inferred_frames == retained.size
+
+
+def test_block_cache_heals_changed_expired_blocks_with_one_inference():
+    cache = WindowedBlockCache()
+    proxy, video = _FakeProxy(), _FakeVideo()
+    retained = np.arange(2 * INFER_BLOCK, dtype=np.int64)
+    cut = INFER_BLOCK
+    cache.window_state(
+        proxy, video, retained, cut, truncate_sigmas=0.0)
+    assert cache.cached_blocks == [1]
+    assert len(proxy.inferred) == 2  # the expired block paid for its top
+
+    # An expired block's content changes (a straddling retain decision
+    # flipped): exactly one O(block) re-inference heals the top, and
+    # the mixture stays evicted.
+    changed = retained.copy()
+    changed[10] = 10**6
+    _, top = cache.window_state(
+        proxy, video, changed, cut, truncate_sigmas=0.0)
+    assert len(proxy.inferred) == 3
+    assert np.array_equal(proxy.inferred[-1], changed[:INFER_BLOCK])
+    assert cache.cached_blocks == [1]
+    assert top == 10.0**6
+
+    # Same content again: fully cached, no inference at all.
+    _, top = cache.window_state(
+        proxy, video, changed, cut, truncate_sigmas=0.0)
+    assert len(proxy.inferred) == 3
+    assert top == 10.0**6
+
+
+def test_block_cache_drops_stale_trailing_blocks():
+    cache = WindowedBlockCache()
+    proxy, video = _FakeProxy(), _FakeVideo()
+    long = np.arange(3 * INFER_BLOCK, dtype=np.int64)
+    cache.window_state(proxy, video, long, 0, truncate_sigmas=0.0)
+    assert cache.cached_blocks == [0, 1, 2]
+    # The retained array shrank (a retrain rebuilt the detector):
+    # trailing blocks beyond the new extent drop mixtures *and* tops.
+    short = long[:INFER_BLOCK]
+    _, top = cache.window_state(
+        proxy, video, short, 0, truncate_sigmas=0.0)
+    assert cache.cached_blocks == [0]
+    assert top == float(short[-1])
